@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench figures examples clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+# Reduced-scale benchmarks for every paper figure plus micro/ablation benches.
+bench:
+	go test -bench=. -benchmem ./...
+
+# Full-scale tables for every figure of the paper's evaluation (§7).
+figures:
+	go run ./cmd/caqe-bench -fig all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/travelplanner
+	go run ./examples/stockticker
+	go run ./examples/supplychain
+	go run ./examples/adaptive
+	go run ./examples/topk
+
+clean:
+	go clean ./...

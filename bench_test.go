@@ -1,0 +1,353 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§7), one testing.B benchmark per figure, plus micro-benchmarks of the
+// core building blocks. Figure benchmarks run the full strategy comparison
+// at a reduced scale per iteration and report the headline quantity as a
+// custom metric; use cmd/caqe-bench for the full-scale tables.
+//
+//	go test -bench=. -benchmem
+package caqe_test
+
+import (
+	"testing"
+
+	"caqe/internal/baseline"
+	"caqe/internal/bench"
+	"caqe/internal/contract"
+	"caqe/internal/core"
+	"caqe/internal/datagen"
+	"caqe/internal/join"
+	"caqe/internal/partition"
+	"caqe/internal/preference"
+	"caqe/internal/skycube"
+	"caqe/internal/skyline"
+	"caqe/internal/topk"
+	"caqe/internal/workload"
+)
+
+// benchCfg is the reduced per-iteration scale of the figure benchmarks.
+func benchCfg() bench.Config {
+	return bench.Config{N: 300, Dims: 4, NumQueries: 11, Selectivity: 0.05,
+		Seed: 2014, TargetCells: 12, GridResolution: 32}
+}
+
+func reportSat(b *testing.B, tab *bench.Table) {
+	b.Helper()
+	// Average CAQE satisfaction across the table's rows.
+	sum := 0.0
+	for _, row := range tab.Values {
+		sum += row[0]
+	}
+	b.ReportMetric(sum/float64(len(tab.Values)), "caqe-sat")
+}
+
+func BenchmarkFig9aCorrelated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Figure9(benchCfg(), datagen.Correlated)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSat(b, tab)
+	}
+}
+
+func BenchmarkFig9bIndependent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Figure9(benchCfg(), datagen.Independent)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSat(b, tab)
+	}
+}
+
+func BenchmarkFig9cAntiCorrelated(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Figure9(benchCfg(), datagen.AntiCorrelated)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSat(b, tab)
+	}
+}
+
+// BenchmarkFig10 covers Figures 10a (join results), 10b (skyline
+// comparisons) and 10c (execution time) in one run — they share the same
+// executions.
+func BenchmarkFig10Statistics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tabs, err := bench.Figure10(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Report the independent-distribution JFSL ratios, the paper's
+		// headline comparison (§7.3).
+		b.ReportMetric(tabs[0].Values[1][2], "jfsl-joins-x")
+		b.ReportMetric(tabs[1].Values[1][2], "jfsl-cmps-x")
+		b.ReportMetric(tabs[2].Values[1][2], "jfsl-time-x")
+	}
+}
+
+func BenchmarkFig11aWorkloadSizeC2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Figure11(benchCfg(), "C2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSat(b, tab)
+	}
+}
+
+func BenchmarkFig11bWorkloadSizeC3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := bench.Figure11(benchCfg(), "C3")
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSat(b, tab)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-strategy benchmarks on the headline workload (Table-2 contract C2).
+
+func benchStrategy(b *testing.B, name string) {
+	w := workload.MustBenchmark(workload.BenchmarkConfig{
+		NumQueries: 11, Dims: 4, Priority: workload.HighDimsHigh,
+		NewContract: func(int) contract.Contract { return contract.C2() },
+	})
+	r, t, err := datagen.Pair(400, 4, datagen.Independent, []float64{0.05}, 2014)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, totals, err := baseline.GroundTruth(w, r, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var strat baseline.Strategy
+	for _, s := range baseline.All(baseline.Options{TargetCells: 12, GridResolution: 32}) {
+		if s.Name == name {
+			strat = s
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := strat.Run(w, r, t, totals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rep.EndTime, "virtual-sec")
+	}
+}
+
+func BenchmarkStrategyCAQE(b *testing.B)   { benchStrategy(b, "CAQE") }
+func BenchmarkStrategySJFSL(b *testing.B)  { benchStrategy(b, "S-JFSL") }
+func BenchmarkStrategyJFSL(b *testing.B)   { benchStrategy(b, "JFSL") }
+func BenchmarkStrategyProgXe(b *testing.B) { benchStrategy(b, "ProgXe+") }
+func BenchmarkStrategySSMJ(b *testing.B)   { benchStrategy(b, "SSMJ") }
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks of the substrates.
+
+func BenchmarkSkylineBNL(b *testing.B) {
+	rel := datagen.MustGenerate(datagen.Config{Name: "R", N: 2000, Dims: 4,
+		Distribution: datagen.Independent, Seed: 1})
+	pts := make([]skyline.Point, rel.Len())
+	for i := range pts {
+		pts[i] = skyline.Point{Vals: rel.At(i).Attrs, Payload: i}
+	}
+	v := preference.NewSubspace(0, 1, 2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skyline.BNL(v, pts, nil)
+	}
+}
+
+func BenchmarkSkylineSFS(b *testing.B) {
+	rel := datagen.MustGenerate(datagen.Config{Name: "R", N: 2000, Dims: 4,
+		Distribution: datagen.Independent, Seed: 1})
+	pts := make([]skyline.Point, rel.Len())
+	for i := range pts {
+		pts[i] = skyline.Point{Vals: rel.At(i).Attrs, Payload: i}
+	}
+	v := preference.NewSubspace(0, 1, 2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skyline.SFS(v, pts, nil)
+	}
+}
+
+func BenchmarkSharedSkylineInsert(b *testing.B) {
+	prefs := workload.EnumeratePreferences(4)
+	cuboid, err := skycube.BuildCuboid(prefs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rel := datagen.MustGenerate(datagen.Config{Name: "R", N: 2000, Dims: 4,
+		Distribution: datagen.Independent, Seed: 2})
+	var all skycube.QSet
+	for q := range prefs {
+		all = all.Add(q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := skycube.NewSharedSkyline(cuboid, nil)
+		for j := 0; j < rel.Len(); j++ {
+			s.Insert(j, rel.At(j).Attrs, all)
+		}
+	}
+}
+
+func BenchmarkPartitionKDMedian(b *testing.B) {
+	rel := datagen.MustGenerate(datagen.Config{Name: "R", N: 10000, Dims: 4,
+		Distribution: datagen.Independent, NumKeys: 1, KeyDomain: []int64{100}, Seed: 3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.Partition(rel, partition.DefaultOptions(rel.Len(), 32)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildCuboid(b *testing.B) {
+	prefs := workload.EnumeratePreferences(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := skycube.BuildCuboid(prefs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCAQEPipeline(b *testing.B) {
+	w := workload.MustBenchmark(workload.BenchmarkConfig{
+		NumQueries: 11, Dims: 4, Priority: workload.UniformPriority,
+		NewContract: func(int) contract.Contract { return contract.C2() },
+	})
+	r, t, err := datagen.Pair(500, 4, datagen.Independent, []float64{0.05}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := core.New(w, r, t, core.Options{TargetCells: 12, GridResolution: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Execute(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations measures the design-choice toggles DESIGN.md calls
+// out: dependency graph, region discard, contract benefit, feedback,
+// exact-vs-volume ProgCount.
+func BenchmarkAblations(b *testing.B) {
+	w := workload.MustBenchmark(workload.BenchmarkConfig{
+		NumQueries: 11, Dims: 4, Priority: workload.HighDimsHigh,
+		NewContract: func(int) contract.Contract { return contract.C3(20) },
+	})
+	r, t, err := datagen.Pair(400, 4, datagen.Independent, []float64{0.05}, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"full", core.Options{}},
+		{"noDepGraph", core.Options{DisableDependencyGraph: true}},
+		{"noDiscard", core.Options{DisableRegionDiscard: true}},
+		{"noFeedback", core.Options{DisableFeedback: true}},
+		{"countOnly", core.Options{DisableContractBenefit: true}},
+		{"volumeProgCount", core.Options{ExactProgCountCap: -1}},
+		{"dataOrder", core.Options{DataOrderScheduling: true}},
+	}
+	for _, c := range cases {
+		c.opt.TargetCells = 12
+		c.opt.GridResolution = 32
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := core.New(w, r, t, c.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := eng.Execute(nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.AvgSatisfaction(), "avg-sat")
+				b.ReportMetric(float64(rep.Counters.SkylineCmps), "cmps")
+			}
+		})
+	}
+}
+
+func BenchmarkContractTracking(b *testing.B) {
+	cs := []contract.Contract{contract.C1(30), contract.C2(), contract.C3(30),
+		contract.C4(0.1, 10), contract.C5(0.1, 10)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cs {
+			tr := c.NewTracker(1000)
+			for ts := 0.5; ts < 100; ts += 0.1 {
+				tr.Observe(ts)
+			}
+			tr.Finalize(100)
+			_ = tr.PScore()
+		}
+	}
+}
+
+func BenchmarkGroundTruth(b *testing.B) {
+	w := workload.MustBenchmark(workload.BenchmarkConfig{
+		NumQueries: 11, Dims: 4, Priority: workload.UniformPriority,
+		NewContract: func(int) contract.Contract { return contract.C2() },
+	})
+	r, t, err := datagen.Pair(500, 4, datagen.Independent, []float64{0.05}, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := baseline.GroundTruth(w, r, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopKExtension compares the contract-driven top-k engine against
+// its sequential baseline on the freight-style ranked workload.
+func BenchmarkTopKExtension(b *testing.B) {
+	w := &topk.Workload{
+		JoinConds: []join.EquiJoin{{Name: "JC1", LeftKey: 0, RightKey: 0}},
+		OutDims:   []join.MapFunc{join.Sum("x0", 0), join.Sum("x1", 1), join.Sum("x2", 2)},
+		Queries: []topk.Query{
+			{Name: "Q1", JC: 0, Weights: []float64{1, 0, 0}, K: 10, Priority: 0.9, Contract: contract.C1(60)},
+			{Name: "Q2", JC: 0, Weights: []float64{1, 1, 1}, K: 25, Priority: 0.5, Contract: contract.C2()},
+			{Name: "Q3", JC: 0, Weights: []float64{0, 1, 3}, K: 5, Priority: 0.3, Contract: contract.C3(90)},
+		},
+	}
+	r, t, err := datagen.Pair(600, 3, datagen.Independent, []float64{0.05}, 77)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("CAQE-TopK", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := topk.Run(w, r, t, topk.Options{}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.EndTime, "virtual-sec")
+		}
+	})
+	b.Run("Sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := topk.Sequential(w, r, t, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rep.EndTime, "virtual-sec")
+		}
+	})
+}

@@ -1,0 +1,285 @@
+// Package caqe is a Go implementation of CAQE — the Contract-Aware Query
+// Execution framework of Raghavan and Rundensteiner (EDBT 2014) — for
+// processing workloads of concurrent skyline-over-join decision support
+// queries, each carrying a progressiveness contract.
+//
+// A workload is a set of queries over two shared base relations R and T.
+// Each query joins R and T under an equi-join condition, projects the
+// joined pair onto a shared output space through scalar mapping functions,
+// and asks for the skyline (the Pareto-optimal set, smaller-is-better) over
+// a subset of those output dimensions. Its contract is a utility function
+// scoring each result by how usefully early it was delivered.
+//
+// CAQE executes the whole workload on one shared plan: a min-max cuboid
+// over the subspace lattice shares skyline comparisons across queries,
+// input is partitioned into cells whose pairwise join images form output
+// regions, and a contract-driven optimizer picks the next region to process
+// so the workload's cumulative contract satisfaction is maximized, with
+// results streamed to each query the moment they are provably final.
+//
+// # Quick start
+//
+//	hotels := caqe.NewRelation(caqe.Schema{
+//	    Name:      "Hotels",
+//	    AttrNames: []string{"price", "distance"},
+//	    KeyNames:  []string{"city"},
+//	})
+//	// ... Append rows to hotels and tours ...
+//
+//	w := &caqe.Workload{
+//	    JoinConds: []caqe.EquiJoin{{Name: "same-city", LeftKey: 0, RightKey: 0}},
+//	    OutDims: []caqe.MapFunc{
+//	        caqe.SumDim("total-price", 0),
+//	        caqe.SumDim("total-distance", 1),
+//	    },
+//	    Queries: []caqe.Query{{
+//	        Name:     "bargains",
+//	        Pref:     caqe.Dims(0, 1),
+//	        Priority: 0.9,
+//	        Contract: caqe.Deadline(30),
+//	    }},
+//	}
+//
+//	report, err := caqe.Run(w, hotels, tours, caqe.Options{})
+//
+// The report carries every delivered result with its virtual timestamp, the
+// per-query contract satisfaction, and the operation counters (join
+// results, skyline comparisons) that the paper uses as memory/CPU proxies.
+//
+// Time inside the engine is *virtual*: a deterministic clock advanced by
+// counted elementary operations, so identical inputs always yield identical
+// schedules, timestamps and scores. One virtual second corresponds to
+// metrics.VirtualSecond elementary cost units.
+package caqe
+
+import (
+	"fmt"
+	"io"
+
+	"caqe/internal/baseline"
+	"caqe/internal/contract"
+	"caqe/internal/core"
+	"caqe/internal/datagen"
+	"caqe/internal/join"
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+	"caqe/internal/run"
+	"caqe/internal/topk"
+	"caqe/internal/tuple"
+	"caqe/internal/workload"
+)
+
+// Core data types, re-exported from the implementation packages.
+type (
+	// Relation is an in-memory base table.
+	Relation = tuple.Relation
+	// Schema describes a relation's numeric attributes and join keys.
+	Schema = tuple.Schema
+	// Tuple is one row.
+	Tuple = tuple.Tuple
+	// Subspace is a set of output-dimension indices (a skyline preference).
+	Subspace = preference.Subspace
+	// Contract is a progressiveness contract (utility of result timing).
+	Contract = contract.Contract
+	// Workload is the set of concurrent queries over shared relations.
+	Workload = workload.Workload
+	// Query is one skyline-over-join query with priority and contract.
+	Query = workload.Query
+	// EquiJoin is a join condition between key columns of R and T.
+	EquiJoin = join.EquiJoin
+	// MapFunc is a scalar mapping function defining one output dimension.
+	MapFunc = join.MapFunc
+	// Report is the outcome of one execution: emissions, satisfaction,
+	// counters.
+	Report = run.Report
+	// Emission is one result delivered to one query.
+	Emission = run.Emission
+	// Options tunes the CAQE engine.
+	Options = core.Options
+)
+
+// NewRelation returns an empty relation with the given schema.
+func NewRelation(schema Schema) *Relation { return tuple.NewRelation(schema) }
+
+// Dims builds a skyline preference over the given output dimensions.
+func Dims(dims ...int) Subspace { return preference.NewSubspace(dims...) }
+
+// SumDim returns the canonical output mapping R.a_k + T.a_k.
+func SumDim(name string, k int) MapFunc { return join.Sum(name, k) }
+
+// LeftDim returns an output mapping that passes through R.a_k.
+func LeftDim(name string, k int) MapFunc { return join.LeftOnly(name, k) }
+
+// RightDim returns an output mapping that passes through T.a_k.
+func RightDim(name string, k int) MapFunc { return join.RightOnly(name, k) }
+
+// WeightedDim returns lw·R.a_lk + rw·T.a_rk + bias.
+func WeightedDim(name string, lk, rk int, lw, rw, bias float64) MapFunc {
+	return join.Weighted(name, lk, rk, lw, rw, bias)
+}
+
+// Contracts of Table 2.
+
+// Deadline is the hard-deadline contract C1: full utility up to tHard
+// virtual seconds, zero after.
+func Deadline(tHard float64) Contract { return contract.C1(tHard) }
+
+// LogDecay is the logarithmic-decay contract C2: utility 1/log10(ts).
+func LogDecay() Contract { return contract.C2() }
+
+// SoftDeadline is the soft-deadline contract C3: full utility up to tSoft,
+// then decaying as 1/(ts − tSoft).
+func SoftDeadline(tSoft float64) Contract { return contract.C3(tSoft) }
+
+// RateQuota is the cardinality contract C4: the given fraction of the final
+// result must arrive in every interval (virtual seconds).
+func RateQuota(frac, interval float64) Contract { return contract.C4(frac, interval) }
+
+// Hybrid is the hybrid contract C5: the C4 quota utility multiplied by a
+// 1/ts time decay.
+func Hybrid(frac, interval float64) Contract { return contract.C5(frac, interval) }
+
+// CustomContract wraps an arbitrary per-tuple utility of the emission time.
+func CustomContract(name string, fn func(ts float64) float64) Contract {
+	return contract.Func(name, fn)
+}
+
+// Run executes the workload with the CAQE engine and returns the report.
+// estTotals optionally supplies the exact final result cardinality of each
+// query for cardinality-based contracts; pass nil to let such contracts
+// treat any delivery as quota-meeting. Use GroundTruth to obtain exact
+// totals.
+func Run(w *Workload, r, t *Relation, opt Options) (*Report, error) {
+	return RunWithTotals(w, r, t, opt, nil)
+}
+
+// RunWithTotals is Run with explicit per-query result cardinalities.
+func RunWithTotals(w *Workload, r, t *Relation, opt Options, estTotals []int) (*Report, error) {
+	eng, err := core.New(w, r, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Execute(estTotals)
+}
+
+// RunProgressive is RunWithTotals with a consumption hook: onEmit is called
+// synchronously for every result at the moment the engine proves it final,
+// before execution continues — the programmatic equivalent of the paper's
+// progressive result reporting.
+func RunProgressive(w *Workload, r, t *Relation, opt Options, estTotals []int, onEmit func(Emission)) (*Report, error) {
+	eng, err := core.New(w, r, t, opt)
+	if err != nil {
+		return nil, err
+	}
+	clock := metrics.NewClock()
+	rep := run.NewReport("CAQE", w, estTotals)
+	rep.OnEmit = onEmit
+	if err := eng.ExecuteInto(clock, rep, nil); err != nil {
+		return nil, err
+	}
+	rep.Finish(clock.Now()/metrics.VirtualSecond, clock.Counters())
+	return rep, nil
+}
+
+// Strategies returns the names of all execution strategies available to
+// RunStrategy: the paper's five-way comparison (CAQE, S-JFSL, JFSL,
+// ProgXe+, SSMJ) plus the classical time-shared MQP executor of §1.3.
+func Strategies() []string {
+	var names []string
+	for _, s := range allStrategies() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+func allStrategies() []baseline.Strategy {
+	return append(baseline.All(baseline.Options{}), baseline.Extra()...)
+}
+
+// RunStrategy executes the workload under the named strategy (see
+// Strategies), enabling side-by-side comparisons on identical inputs.
+func RunStrategy(name string, w *Workload, r, t *Relation, estTotals []int) (*Report, error) {
+	for _, s := range allStrategies() {
+		if s.Name == name {
+			return s.Run(w, r, t, estTotals)
+		}
+	}
+	return nil, fmt.Errorf("caqe: unknown strategy %q (have %v)", name, Strategies())
+}
+
+// GroundTruth computes the exact final result cardinality of every query
+// (for cardinality-based contracts and verification) using an unmetered
+// full evaluation.
+func GroundTruth(w *Workload, r, t *Relation) ([]int, error) {
+	_, totals, err := baseline.GroundTruth(w, r, t)
+	return totals, err
+}
+
+// Data generation, re-exported for examples and experiments.
+type (
+	// DataConfig describes one synthetic benchmark relation.
+	DataConfig = datagen.Config
+	// Distribution selects the attribute correlation model.
+	Distribution = datagen.Distribution
+)
+
+// Benchmark data distributions (Börzsönyi et al.).
+const (
+	Independent    = datagen.Independent
+	Correlated     = datagen.Correlated
+	AntiCorrelated = datagen.AntiCorrelated
+)
+
+// GenerateRelation builds a synthetic relation.
+func GenerateRelation(cfg DataConfig) (*Relation, error) { return datagen.Generate(cfg) }
+
+// GeneratePair builds the standard benchmark pair (R, T) with n rows each,
+// d dimensions, the given distribution and equi-join selectivities.
+func GeneratePair(n, d int, dist Distribution, selectivities []float64, seed int64) (*Relation, *Relation, error) {
+	return datagen.Pair(n, d, dist, selectivities, seed)
+}
+
+// ReadRelationCSV loads a relation from CSV data: numeric attributes first,
+// join key columns last, one record per tuple. With header true the first
+// record is skipped.
+func ReadRelationCSV(r io.Reader, schema Schema, header bool) (*Relation, error) {
+	return tuple.ReadCSV(r, schema, header)
+}
+
+// Top-k extension: the paper develops CAQE for skyline-over-join queries
+// and positions its principles as general across multi-criteria decision
+// support query classes (§1.2); the topk package realizes that extension
+// for contract-driven top-k-over-join workloads on the same substrates.
+type (
+	// TopKWorkload is a set of top-k-over-join queries.
+	TopKWorkload = topk.Workload
+	// TopKQuery scores join results with a non-negative linear combination
+	// of the output dimensions (smaller is better) and asks for the K best.
+	TopKQuery = topk.Query
+	// TopKOptions tunes the top-k engine.
+	TopKOptions = topk.Options
+)
+
+// RunTopK executes a top-k workload with contract-driven scheduling.
+func RunTopK(w *TopKWorkload, r, t *Relation, opt TopKOptions, estTotals []int) (*Report, error) {
+	return topk.Run(w, r, t, opt, estTotals)
+}
+
+// RunTopKSequential is the unshared, blocking per-query baseline for the
+// top-k extension.
+func RunTopKSequential(w *TopKWorkload, r, t *Relation, estTotals []int) (*Report, error) {
+	return topk.Sequential(w, r, t, estTotals)
+}
+
+// ProductContract combines component contracts multiplicatively — the
+// generalization of Table 2's hybrid C5 (Eq. 5) to arbitrary components.
+func ProductContract(components ...Contract) Contract {
+	return contract.Product(components...)
+}
+
+// BlendedContract combines component contracts as a positively-weighted,
+// normalized sum, for consumers whose requirements trade off rather than
+// compound (the richer models of §3.3's footnote).
+func BlendedContract(weights []float64, components ...Contract) Contract {
+	return contract.WeightedSum(weights, components...)
+}

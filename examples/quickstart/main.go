@@ -1,0 +1,76 @@
+// Quickstart: two concurrent skyline-over-join queries with different
+// progressiveness contracts over one pair of synthetic tables.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"caqe"
+)
+
+func main() {
+	// Synthetic benchmark pair: 500 rows each, 3 numeric dimensions,
+	// independent distribution, one join key with 2% selectivity.
+	r, t, err := caqe.GeneratePair(500, 3, caqe.Independent, []float64{0.02}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The shared output space: out[k] = R.a_k + T.a_k, smaller is better.
+	w := &caqe.Workload{
+		JoinConds: []caqe.EquiJoin{{Name: "JC1", LeftKey: 0, RightKey: 0}},
+		OutDims: []caqe.MapFunc{
+			caqe.SumDim("cost", 0),
+			caqe.SumDim("distance", 1),
+			caqe.SumDim("risk", 2),
+		},
+		Queries: []caqe.Query{
+			{
+				// An impatient consumer: results are worthless after 60
+				// virtual seconds.
+				Name:     "impatient",
+				JC:       0,
+				Pref:     caqe.Dims(0, 1),
+				Priority: 0.9,
+				Contract: caqe.Deadline(60),
+			},
+			{
+				// A thorough consumer over all three dimensions that merely
+				// prefers earlier results.
+				Name:     "thorough",
+				JC:       0,
+				Pref:     caqe.Dims(0, 1, 2),
+				Priority: 0.5,
+				Contract: caqe.LogDecay(),
+			},
+		},
+	}
+
+	report, err := caqe.Run(w, r, t, caqe.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload finished at %.1f virtual seconds\n", report.EndTime)
+	for qi, q := range w.Queries {
+		ems := report.PerQuery[qi]
+		sat := report.Satisfaction()[qi]
+		fmt.Printf("\n%s (%d results, satisfaction %.2f):\n", q.Name, len(ems), sat)
+		for i, e := range ems {
+			if i >= 5 {
+				fmt.Printf("  ... and %d more\n", len(ems)-5)
+				break
+			}
+			fmt.Printf("  t=%6.1fs  R#%-4d T#%-4d out=%v\n", e.Time, e.RID, e.TID, e.Out)
+		}
+	}
+
+	c := report.Counters
+	fmt.Printf("\nwork: %d join results, %d skyline comparisons (shared across both queries)\n",
+		c.JoinResults, c.SkylineCmps)
+}

@@ -1,0 +1,3 @@
+module caqe
+
+go 1.22

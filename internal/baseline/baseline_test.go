@@ -1,0 +1,290 @@
+package baseline
+
+import (
+	"testing"
+
+	"caqe/internal/contract"
+	"caqe/internal/datagen"
+	"caqe/internal/join"
+	"caqe/internal/preference"
+	"caqe/internal/run"
+	"caqe/internal/tuple"
+	"caqe/internal/workload"
+)
+
+func smallSetup(t *testing.T, nq, dims, n int, seed int64) (*workload.Workload, *tuple.Relation, *tuple.Relation, []int) {
+	t.Helper()
+	w := workload.MustBenchmark(workload.BenchmarkConfig{
+		NumQueries: nq, Dims: dims, Priority: workload.HighDimsHigh,
+		NewContract: func(int) contract.Contract { return contract.C3(10) },
+	})
+	r, tt, err := datagen.Pair(n, dims, datagen.Independent, []float64{0.03}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, totals, err := GroundTruth(w, r, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, r, tt, totals
+}
+
+func TestStrategyListOrder(t *testing.T) {
+	names := []string{}
+	for _, s := range All(Options{}) {
+		names = append(names, s.Name)
+	}
+	want := []string{"CAQE", "S-JFSL", "JFSL", "ProgXe+", "SSMJ"}
+	if len(names) != len(want) {
+		t.Fatalf("strategies = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("strategies = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestJFSLAccounting(t *testing.T) {
+	w, r, tt, totals := smallSetup(t, 4, 3, 150, 31)
+	rep, err := JFSL(w, r, tt, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JFSL probes the full cross product once per query: no sharing.
+	want := int64(len(w.Queries) * r.Len() * tt.Len())
+	if rep.Counters.JoinProbes != want {
+		t.Fatalf("JFSL probes = %d, want %d", rep.Counters.JoinProbes, want)
+	}
+}
+
+func TestJFSLIsBlockingPerQuery(t *testing.T) {
+	w, r, tt, totals := smallSetup(t, 4, 3, 150, 33)
+	rep, err := JFSL(w, r, tt, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, ems := range rep.PerQuery {
+		for _, e := range ems[1:] {
+			if e.Time != ems[0].Time {
+				t.Fatalf("query %d results not delivered atomically: %g vs %g", qi, e.Time, ems[0].Time)
+			}
+		}
+	}
+}
+
+func TestSSMJIsBlockingPerQuery(t *testing.T) {
+	w, r, tt, totals := smallSetup(t, 4, 3, 150, 35)
+	rep, err := SSMJ(w, r, tt, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, ems := range rep.PerQuery {
+		for _, e := range ems[1:] {
+			if e.Time != ems[0].Time {
+				t.Fatalf("query %d results not delivered atomically", qi)
+			}
+		}
+	}
+}
+
+func TestPriorityOrderRespected(t *testing.T) {
+	// Under JFSL/SSMJ the highest-priority query's results must arrive
+	// first (they are processed sequentially by priority).
+	w, r, tt, totals := smallSetup(t, 4, 3, 150, 37)
+	order := w.ByPriority()
+	for _, strat := range []Strategy{{Name: "JFSL", Run: JFSL}, {Name: "SSMJ", Run: SSMJ}} {
+		rep, err := strat.Run(w, r, tt, totals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := -1.0
+		for _, qi := range order {
+			if len(rep.PerQuery[qi]) == 0 {
+				continue
+			}
+			first := rep.PerQuery[qi][0].Time
+			if first < last {
+				t.Fatalf("%s: priority order violated (%g after %g)", strat.Name, first, last)
+			}
+			last = first
+		}
+	}
+}
+
+func TestProgXeIsProgressiveWithinQuery(t *testing.T) {
+	w, r, tt, totals := smallSetup(t, 4, 3, 300, 39)
+	rep, err := ProgXe(w, r, tt, totals, Options{TargetCells: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one query should spread its emissions over time rather
+	// than delivering everything at one instant.
+	spread := false
+	for _, ems := range rep.PerQuery {
+		if len(ems) >= 2 && ems[len(ems)-1].Time > ems[0].Time {
+			spread = true
+		}
+	}
+	if !spread {
+		t.Fatal("ProgXe+ delivered every query atomically; expected progressive output")
+	}
+}
+
+func TestSharingReducesWork(t *testing.T) {
+	w, r, tt, totals := smallSetup(t, 6, 4, 300, 41)
+	jfsl, err := JFSL(w, r, tt, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caqe := All(Options{TargetCells: 8})[0]
+	rep, err := caqe.Run(w, r, tt, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters.JoinResults >= jfsl.Counters.JoinResults {
+		t.Errorf("CAQE produced %d join results, JFSL %d — no sharing benefit",
+			rep.Counters.JoinResults, jfsl.Counters.JoinResults)
+	}
+	if rep.Counters.SkylineCmps >= jfsl.Counters.SkylineCmps {
+		t.Errorf("CAQE performed %d comparisons, JFSL %d — no sharing benefit",
+			rep.Counters.SkylineCmps, jfsl.Counters.SkylineCmps)
+	}
+}
+
+func TestStrategiesDeterministic(t *testing.T) {
+	w, r, tt, totals := smallSetup(t, 4, 3, 200, 43)
+	for _, s := range All(Options{TargetCells: 6}) {
+		a, err := s.Run(w, r, tt, totals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Run(w, r, tt, totals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.EndTime != b.EndTime {
+			t.Errorf("%s: end times differ across runs: %g vs %g", s.Name, a.EndTime, b.EndTime)
+		}
+		if ok, diff := run.SameResults(a, b); !ok {
+			t.Errorf("%s: results differ across runs: %s", s.Name, diff)
+		}
+	}
+}
+
+func TestGroundTruthSharesJoins(t *testing.T) {
+	w, r, tt, _ := smallSetup(t, 4, 3, 100, 45)
+	results, totals, err := GroundTruth(w, r, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(w.Queries) || len(totals) != len(w.Queries) {
+		t.Fatalf("shape: %d results, %d totals", len(results), len(totals))
+	}
+	for qi := range results {
+		if totals[qi] != len(results[qi]) {
+			t.Fatalf("query %d: total %d != %d results", qi, totals[qi], len(results[qi]))
+		}
+	}
+}
+
+// TestMultiJoinConditionOracle: two queries with *different* join
+// conditions (the supply-chain shape of Examples 14-15) must still agree
+// with the oracle under every strategy.
+func TestMultiJoinConditionOracle(t *testing.T) {
+	w := &workload.Workload{
+		JoinConds: []join.EquiJoin{
+			{Name: "by-country", LeftKey: 0, RightKey: 0},
+			{Name: "by-part", LeftKey: 1, RightKey: 1},
+		},
+		OutDims: []join.MapFunc{join.Sum("x0", 0), join.Sum("x1", 1), join.Sum("x2", 2)},
+		Queries: []workload.Query{
+			{Name: "Q1", JC: 0, Pref: preference.NewSubspace(0, 2), Priority: 0.8, Contract: contract.C3(10)},
+			{Name: "Q2", JC: 1, Pref: preference.NewSubspace(0, 1), Priority: 0.4, Contract: contract.C2()},
+		},
+	}
+	gen := func(name string, seed int64) *tuple.Relation {
+		rel, err := datagen.Generate(datagen.Config{
+			Name: name, N: 200, Dims: 3, Distribution: datagen.Independent,
+			NumKeys: 2, KeyDomain: []int64{15, 25}, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rel
+	}
+	r, tt := gen("R", 51), gen("T", 52)
+	oracle, totals, err := GroundTruthReport(w, r, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range All(Options{TargetCells: 6, GridResolution: 16}) {
+		rep, err := s.Run(w, r, tt, totals)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if ok, diff := run.SameResults(oracle, rep); !ok {
+			t.Errorf("%s: %s", s.Name, diff)
+		}
+	}
+}
+
+func TestTimeSharedAgreesWithOracle(t *testing.T) {
+	w, r, tt, totals := smallSetup(t, 4, 3, 150, 47)
+	oracle, _, err := GroundTruthReport(w, r, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := TimeShared(w, r, tt, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, diff := run.SameResults(oracle, rep); !ok {
+		t.Fatalf("TimeShared mismatch: %s", diff)
+	}
+}
+
+func TestTimeSharedInterleavesCompletions(t *testing.T) {
+	// With round-robin slices, cheap queries complete before expensive
+	// ones regardless of declaration order, and each query's results are
+	// delivered atomically at its own completion time.
+	w, r, tt, totals := smallSetup(t, 4, 3, 200, 49)
+	rep, err := TimeShared(w, r, tt, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[float64]bool{}
+	for qi, ems := range rep.PerQuery {
+		if len(ems) == 0 {
+			continue
+		}
+		for _, e := range ems[1:] {
+			if e.Time != ems[0].Time {
+				t.Fatalf("query %d results not atomic", qi)
+			}
+		}
+		distinct[ems[0].Time] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("all queries completed simultaneously: %v", distinct)
+	}
+}
+
+func TestTimeSharedNoSharing(t *testing.T) {
+	w, r, tt, totals := smallSetup(t, 4, 3, 150, 51)
+	rep, err := TimeShared(w, r, tt, totals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(w.Queries) * r.Len() * tt.Len())
+	if rep.Counters.JoinProbes != want {
+		t.Fatalf("time-shared probes = %d, want %d (full join per query)", rep.Counters.JoinProbes, want)
+	}
+}
+
+func TestExtraStrategies(t *testing.T) {
+	extra := Extra()
+	if len(extra) != 1 || extra[0].Name != "TimeShared" {
+		t.Fatalf("Extra() = %v", extra)
+	}
+}

@@ -1,0 +1,86 @@
+package baseline
+
+import (
+	"testing"
+
+	"caqe/internal/contract"
+	"caqe/internal/datagen"
+	"caqe/internal/run"
+	"caqe/internal/workload"
+)
+
+// TestAllStrategiesAgreeWithOracle is the central correctness invariant of
+// DESIGN.md §4: every strategy delivers exactly the ground-truth skyline of
+// every query, on every data distribution.
+func TestAllStrategiesAgreeWithOracle(t *testing.T) {
+	for _, dist := range []datagen.Distribution{datagen.Independent, datagen.Correlated, datagen.AntiCorrelated} {
+		dist := dist
+		t.Run(dist.String(), func(t *testing.T) {
+			w := workload.MustBenchmark(workload.BenchmarkConfig{
+				NumQueries: 4,
+				Dims:       3,
+				Priority:   workload.HighDimsHigh,
+				NewContract: func(i int) contract.Contract {
+					return contract.C3(10)
+				},
+			})
+			r, tt, err := datagen.Pair(300, 3, dist, []float64{0.02}, 42)
+			if err != nil {
+				t.Fatalf("datagen: %v", err)
+			}
+			oracle, totals, err := GroundTruthReport(w, r, tt)
+			if err != nil {
+				t.Fatalf("ground truth: %v", err)
+			}
+			for _, s := range All(Options{TargetCells: 8, GridResolution: 32}) {
+				rep, err := s.Run(w, r, tt, totals)
+				if err != nil {
+					t.Fatalf("%s: %v", s.Name, err)
+				}
+				if ok, diff := run.SameResults(oracle, rep); !ok {
+					t.Errorf("%s: result mismatch: %s", s.Name, diff)
+				}
+			}
+		})
+	}
+}
+
+// TestEmissionsAreTimely checks that all strategies emit with non-decreasing
+// per-query timestamps and that progressive strategies finish with the same
+// end time as their last emission at the latest.
+func TestEmissionsAreTimely(t *testing.T) {
+	w := workload.MustBenchmark(workload.BenchmarkConfig{
+		NumQueries: 3,
+		Dims:       3,
+		Priority:   workload.LowDimsHigh,
+		NewContract: func(i int) contract.Contract {
+			return contract.C1(20)
+		},
+	})
+	r, tt, err := datagen.Pair(200, 3, datagen.Independent, []float64{0.05}, 7)
+	if err != nil {
+		t.Fatalf("datagen: %v", err)
+	}
+	_, totals, err := GroundTruth(w, r, tt)
+	if err != nil {
+		t.Fatalf("ground truth: %v", err)
+	}
+	for _, s := range All(Options{TargetCells: 6, GridResolution: 16}) {
+		rep, err := s.Run(w, r, tt, totals)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		for qi, ems := range rep.PerQuery {
+			last := 0.0
+			for k, e := range ems {
+				if e.Time < last {
+					t.Errorf("%s: query %d emission %d goes back in time: %g < %g", s.Name, qi, k, e.Time, last)
+				}
+				last = e.Time
+				if e.Time > rep.EndTime {
+					t.Errorf("%s: query %d emission after end: %g > %g", s.Name, qi, e.Time, rep.EndTime)
+				}
+			}
+		}
+	}
+}

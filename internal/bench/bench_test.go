@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"caqe/internal/datagen"
+)
+
+// tinyConfig keeps the figure runners fast enough for the unit-test suite.
+func tinyConfig() Config {
+	return Config{N: 150, Dims: 3, NumQueries: 4, Selectivity: 0.05, Seed: 7, TargetCells: 6, GridResolution: 16}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	d := DefaultConfig()
+	if c != d {
+		t.Fatalf("withDefaults() = %+v, want %+v", c, d)
+	}
+	// Partial overrides survive.
+	c = Config{N: 99}.withDefaults()
+	if c.N != 99 || c.Dims != d.Dims {
+		t.Fatalf("partial override broken: %+v", c)
+	}
+}
+
+func TestCalibratePositive(t *testing.T) {
+	cfg := tinyConfig()
+	r, tt, err := cfg.dataset(datagen.Independent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tRef, err := cfg.calibrate(r, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tRef <= 0 {
+		t.Fatalf("tRef = %g", tRef)
+	}
+}
+
+func TestContractFactoryCoversClasses(t *testing.T) {
+	for _, class := range ContractClasses {
+		f := contractFactory(class, 100)
+		c := f(0)
+		if c == nil {
+			t.Fatalf("%s: nil contract", class)
+		}
+		if !strings.HasPrefix(c.Name(), class) {
+			t.Fatalf("%s: contract named %q", class, c.Name())
+		}
+	}
+}
+
+func TestContractFactoryUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	contractFactory("C9", 100)
+}
+
+func TestFigure9Shape(t *testing.T) {
+	tab, err := Figure9(tinyConfig(), datagen.Independent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(ContractClasses) {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	if len(tab.Cols) != len(StrategyNames) {
+		t.Fatalf("cols = %v", tab.Cols)
+	}
+	for i, row := range tab.Values {
+		for j, v := range row {
+			if v < 0 || v > 1 {
+				t.Errorf("satisfaction [%d][%d] = %g outside [0,1]", i, j, v)
+			}
+		}
+	}
+	if s := tab.String(); !strings.Contains(s, "CAQE") || !strings.Contains(s, "C1") {
+		t.Errorf("rendering missing labels:\n%s", s)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	tabs, err := Figure10(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("%d tables", len(tabs))
+	}
+	for ti, tab := range tabs {
+		if len(tab.Rows) != 3 { // three distributions
+			t.Fatalf("table %d rows = %v", ti, tab.Rows)
+		}
+		for _, row := range tab.Values {
+			// Ratios for non-CAQE columns must be ≥ ~1 in aggregate: the
+			// baselines never do *less* total work than CAQE on all three
+			// metrics simultaneously. Check values are positive.
+			for j, v := range row {
+				if v <= 0 {
+					t.Errorf("table %d col %d non-positive value %g", ti, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure10BaselinesDoMoreWork(t *testing.T) {
+	tabs, err := Figure10(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join results (table 0): the unshared JFSL and SSMJ must produce
+	// strictly more join results than CAQE on every distribution.
+	for _, row := range tabs[0].Values {
+		if row[2] <= 1 { // JFSL column
+			t.Errorf("JFSL join-result ratio %g ≤ 1", row[2])
+		}
+		if row[4] <= 1 { // SSMJ column
+			t.Errorf("SSMJ join-result ratio %g ≤ 1", row[4])
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	cfg := tinyConfig()
+	tab, err := Figure11(cfg, "C3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep 1, 3 (NumQueries=4 → sizes 1 and 3).
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+	if _, err := Figure11(cfg, "C1"); err == nil {
+		t.Error("Figure11 accepted contract C1")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "test",
+		Note:   "a note",
+		Rows:   []string{"r1"},
+		Cols:   []string{"c1", "c2"},
+		Values: [][]float64{{1.5, 2.25}},
+	}
+	s := tab.String()
+	for _, want := range []string{"test", "a note", "r1", "c1", "c2", "1.500", "2.250"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSweeps(t *testing.T) {
+	cfg := tinyConfig()
+	nTab, err := SweepN(cfg, []int{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nTab.Rows) != 2 {
+		t.Fatalf("SweepN rows = %v", nTab.Rows)
+	}
+	dTab, err := SweepDims(cfg, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dTab.Rows) != 2 {
+		t.Fatalf("SweepDims rows = %v", dTab.Rows)
+	}
+	sTab, err := SweepSelectivity(cfg, []float64{0.02, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sTab.Rows) != 2 {
+		t.Fatalf("SweepSelectivity rows = %v", sTab.Rows)
+	}
+	for _, tab := range []*Table{nTab, dTab, sTab} {
+		for _, row := range tab.Values {
+			for _, v := range row {
+				if v < 0 || v > 1 {
+					t.Errorf("%s: satisfaction %g outside [0,1]", tab.Title, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+
+	"caqe/internal/datagen"
+	"caqe/internal/run"
+	"caqe/internal/workload"
+)
+
+// Figure9 reproduces Figure 9 (a: correlated, b: independent, c: anti-
+// correlated): the average contract satisfaction of every strategy under
+// each contract class of Table 2, with the §7.2 priority assignments,
+// |S_Q| = NumQueries queries over Dims dimensions.
+func Figure9(cfg Config, dist datagen.Distribution) (*Table, error) {
+	cfg = cfg.withDefaults()
+	r, t, err := cfg.dataset(dist)
+	if err != nil {
+		return nil, err
+	}
+	tRef, err := cfg.calibrate(r, t)
+	if err != nil {
+		return nil, err
+	}
+	// Ground-truth cardinalities are contract-independent.
+	wAny, err := cfg.buildWorkload("C1", tRef)
+	if err != nil {
+		return nil, err
+	}
+	_, totals, err := baselineGroundTruth(wAny, r, t)
+	if err != nil {
+		return nil, err
+	}
+
+	tab := &Table{
+		Title: fmt.Sprintf("Figure 9 (%s): avg contract satisfaction, |S_Q|=%d, N=%d", dist, cfg.NumQueries, cfg.N),
+		Note:  fmt.Sprintf("t_C1=t_C3=%.1f vs, C4/C5 interval=%.1f vs (calibrated to one shared pass = %.1f vs)", 0.75*tRef, tRef/10, tRef),
+		Cols:  StrategyNames,
+	}
+	for _, class := range ContractClasses {
+		w, err := cfg.buildWorkload(class, tRef)
+		if err != nil {
+			return nil, err
+		}
+		reports, err := cfg.runAll(w, r, t, totals)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(StrategyNames))
+		for j, name := range StrategyNames {
+			row[j] = reports[name].AvgSatisfaction()
+		}
+		tab.Rows = append(tab.Rows, class)
+		tab.Values = append(tab.Values, row)
+	}
+	return tab, nil
+}
+
+// Figure10 reproduces Figure 10 (a: join results, b: skyline comparisons,
+// c: execution time): the statistics of every strategy relative to CAQE
+// under contract C2, across the three distributions.
+func Figure10(cfg Config) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+	dists := []datagen.Distribution{datagen.Correlated, datagen.Independent, datagen.AntiCorrelated}
+
+	type metric struct {
+		name string
+		get  func(*run.Report) float64
+	}
+	ms := []metric{
+		{"Figure 10a: join results (ratio vs CAQE)", func(r *run.Report) float64 { return float64(r.Counters.JoinResults) }},
+		{"Figure 10b: skyline comparisons (ratio vs CAQE)", func(r *run.Report) float64 { return float64(r.Counters.SkylineCmps) }},
+		{"Figure 10c: execution time (ratio vs CAQE)", func(r *run.Report) float64 { return r.EndTime }},
+	}
+	tabs := make([]*Table, len(ms))
+	for i, m := range ms {
+		tabs[i] = &Table{
+			Title:  m.name,
+			Note:   fmt.Sprintf("contract C2, |S_Q|=%d, N=%d; CAQE column shows its absolute value", cfg.NumQueries, cfg.N),
+			Cols:   StrategyNames,
+			Format: "%8.2f",
+		}
+	}
+	for _, dist := range dists {
+		r, t, err := cfg.dataset(dist)
+		if err != nil {
+			return nil, err
+		}
+		tRef, err := cfg.calibrate(r, t)
+		if err != nil {
+			return nil, err
+		}
+		w, err := cfg.buildWorkload("C2", tRef)
+		if err != nil {
+			return nil, err
+		}
+		_, totals, err := baselineGroundTruth(w, r, t)
+		if err != nil {
+			return nil, err
+		}
+		reports, err := cfg.runAll(w, r, t, totals)
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range ms {
+			base := m.get(reports["CAQE"])
+			row := make([]float64, len(StrategyNames))
+			for j, name := range StrategyNames {
+				v := m.get(reports[name])
+				if name == "CAQE" {
+					row[j] = base // absolute value in the CAQE column
+				} else if base > 0 {
+					row[j] = v / base
+				}
+			}
+			tabs[i].Rows = append(tabs[i].Rows, dist.String())
+			tabs[i].Values = append(tabs[i].Values, row)
+		}
+	}
+	return tabs, nil
+}
+
+// Figure11 reproduces Figure 11 (a: contract C2, b: contract C3): average
+// contract satisfaction on the independent distribution as the workload
+// size grows 1, 3, 5, 7, 9, ..., NumQueries.
+func Figure11(cfg Config, class string) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if class != "C2" && class != "C3" {
+		return nil, fmt.Errorf("bench: Figure 11 uses contract C2 or C3, got %q", class)
+	}
+	r, t, err := cfg.dataset(datagen.Independent)
+	if err != nil {
+		return nil, err
+	}
+	tRef, err := cfg.calibrate(r, t)
+	if err != nil {
+		return nil, err
+	}
+	tab := &Table{
+		Title: fmt.Sprintf("Figure 11 (%s): avg satisfaction vs workload size, independent, N=%d", class, cfg.N),
+		Note:  fmt.Sprintf("t_C3=%.1f vs (calibrated); workload sizes share the calibration of |S_Q|=%d", 0.75*tRef, cfg.NumQueries),
+		Cols:  StrategyNames,
+	}
+	for nq := 1; nq <= cfg.NumQueries; nq += 2 {
+		w, err := workload.Benchmark(workload.BenchmarkConfig{
+			NumQueries:  nq,
+			Dims:        cfg.Dims,
+			Priority:    workload.PriorityModeFor(class),
+			NewContract: contractFactory(class, tRef),
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, totals, err := baselineGroundTruth(w, r, t)
+		if err != nil {
+			return nil, err
+		}
+		reports, err := cfg.runAll(w, r, t, totals)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(StrategyNames))
+		for j, name := range StrategyNames {
+			row[j] = reports[name].AvgSatisfaction()
+		}
+		tab.Rows = append(tab.Rows, fmt.Sprintf("|S_Q|=%d", nq))
+		tab.Values = append(tab.Values, row)
+	}
+	return tab, nil
+}

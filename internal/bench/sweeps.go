@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+
+	"caqe/internal/datagen"
+)
+
+// The paper's experimental setup (§7.1) varies the table cardinality N
+// (10K–500K), the skyline dimensionality d (2–5) and the join selectivity
+// σ (1e-4–1e-1) beyond the headline figures. These supplementary sweeps
+// regenerate the corresponding satisfaction trends at laptop scale.
+
+// SweepN measures average satisfaction (contract C3, independent) as the
+// table cardinality grows.
+func SweepN(cfg Config, ns []int) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if len(ns) == 0 {
+		ns = []int{300, 600, 1200, 2400}
+	}
+	tab := &Table{
+		Title: "Supplementary: avg satisfaction vs table cardinality N (C3, independent)",
+		Note:  fmt.Sprintf("|S_Q|=%d, d=%d, σ=%g; deadlines recalibrated per N", cfg.NumQueries, cfg.Dims, cfg.Selectivity),
+		Cols:  StrategyNames,
+	}
+	for _, n := range ns {
+		c := cfg
+		c.N = n
+		row, err := satisfactionRow(c, datagen.Independent, "C3")
+		if err != nil {
+			return nil, err
+		}
+		tab.Rows = append(tab.Rows, fmt.Sprintf("N=%d", n))
+		tab.Values = append(tab.Values, row)
+	}
+	return tab, nil
+}
+
+// SweepDims measures average satisfaction (contract C3, independent) as the
+// output dimensionality d grows 2–5; the workload size is capped at the
+// number of available preferences per d.
+func SweepDims(cfg Config, dims []int) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if len(dims) == 0 {
+		dims = []int{2, 3, 4, 5}
+	}
+	tab := &Table{
+		Title: "Supplementary: avg satisfaction vs dimensionality d (C3, independent)",
+		Note:  fmt.Sprintf("N=%d, σ=%g; |S_Q| = min(%d, available preferences)", cfg.N, cfg.Selectivity, cfg.NumQueries),
+		Cols:  StrategyNames,
+	}
+	for _, d := range dims {
+		c := cfg
+		c.Dims = d
+		maxQ := (1 << uint(d)) - 1 - d
+		if c.NumQueries > maxQ {
+			c.NumQueries = maxQ
+		}
+		row, err := satisfactionRow(c, datagen.Independent, "C3")
+		if err != nil {
+			return nil, err
+		}
+		tab.Rows = append(tab.Rows, fmt.Sprintf("d=%d (|S_Q|=%d)", d, c.NumQueries))
+		tab.Values = append(tab.Values, row)
+	}
+	return tab, nil
+}
+
+// SweepSelectivity measures average satisfaction (contract C3, independent)
+// across join selectivities, the paper's 1e-4–1e-1 range scaled to keep
+// join outputs non-trivial at laptop cardinalities.
+func SweepSelectivity(cfg Config, sigmas []float64) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if len(sigmas) == 0 {
+		sigmas = []float64{0.005, 0.02, 0.08, 0.2}
+	}
+	tab := &Table{
+		Title: "Supplementary: avg satisfaction vs join selectivity σ (C3, independent)",
+		Note:  fmt.Sprintf("N=%d, |S_Q|=%d, d=%d; deadlines recalibrated per σ", cfg.N, cfg.NumQueries, cfg.Dims),
+		Cols:  StrategyNames,
+	}
+	for _, sigma := range sigmas {
+		c := cfg
+		c.Selectivity = sigma
+		row, err := satisfactionRow(c, datagen.Independent, "C3")
+		if err != nil {
+			return nil, err
+		}
+		tab.Rows = append(tab.Rows, fmt.Sprintf("σ=%g", sigma))
+		tab.Values = append(tab.Values, row)
+	}
+	return tab, nil
+}
+
+// satisfactionRow runs all strategies on one configuration and returns the
+// per-strategy average satisfaction.
+func satisfactionRow(cfg Config, dist datagen.Distribution, class string) ([]float64, error) {
+	r, t, err := cfg.dataset(dist)
+	if err != nil {
+		return nil, err
+	}
+	tRef, err := cfg.calibrate(r, t)
+	if err != nil {
+		return nil, err
+	}
+	w, err := cfg.buildWorkload(class, tRef)
+	if err != nil {
+		return nil, err
+	}
+	_, totals, err := baselineGroundTruth(w, r, t)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := cfg.runAll(w, r, t, totals)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]float64, len(StrategyNames))
+	for j, name := range StrategyNames {
+		row[j] = reports[name].AvgSatisfaction()
+	}
+	return row, nil
+}

@@ -1,0 +1,27 @@
+package contract
+
+// timeShaped is implemented by contracts whose per-tuple utility has a pure
+// time component that can be evaluated prospectively for the optimizer's
+// benefit model (Eq. 8): "what would a tuple emitted at time ts be worth?".
+type timeShaped interface {
+	utilityAt(ts float64) float64
+}
+
+func (c *timeFunc) utilityAt(ts float64) float64 { return c.fn(ts) }
+
+// Cardinality contracts reward any delivery; prospectively a tuple is worth
+// its full quota share.
+func (c *cardContract) utilityAt(ts float64) float64 { return 1 }
+
+func (c *hybridContract) utilityAt(ts float64) float64 { return timeDecay(ts) }
+
+// ExpectedUtilityAt returns the prospective per-tuple utility of emitting a
+// result at virtual time ts (seconds) under the contract, used by the CSM
+// benefit model. Contracts outside the built-in classes default to 1.
+func ExpectedUtilityAt(c Contract, ts float64) float64 {
+	if t, ok := c.(timeShaped); ok {
+		u := t.utilityAt(ts)
+		return clamp01(u)
+	}
+	return 1
+}

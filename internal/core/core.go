@@ -1,0 +1,202 @@
+// Package core implements the CAQE framework itself (§4–§6): the pipeline
+// that builds the shared min-max cuboid plan, performs the multi-query
+// output look-ahead, and then interleaves the contract-driven optimizer
+// (Algorithm 1) with the contract-aware executor, progressively emitting
+// results and feeding run-time satisfaction back into the benefit model.
+package core
+
+import (
+	"fmt"
+
+	"caqe/internal/metrics"
+	"caqe/internal/partition"
+	"caqe/internal/region"
+	"caqe/internal/run"
+	"caqe/internal/skycube"
+	"caqe/internal/tuple"
+	"caqe/internal/workload"
+)
+
+// Options tunes the CAQE engine. The zero value selects sensible defaults.
+type Options struct {
+	// TargetCells is the desired number of quad-tree leaf cells per input
+	// relation (default 24). More cells mean finer-grained scheduling at
+	// higher coarse-level cost.
+	TargetCells int
+	// GridResolution is the number of output-grid cells per dimension used
+	// for ProgCount and emission decisions (default 64).
+	GridResolution int
+	// ExactProgCountCap enumerates a region's output cells exactly when
+	// its cell count in the query subspace is at most this value; larger
+	// regions use the volume-fraction estimate (default 512; set negative
+	// to always use the volume estimate — the ablation toggle).
+	ExactProgCountCap int64
+	// CmpPerResult is the cost model's expected number of skyline
+	// comparisons per join result (default 4).
+	CmpPerResult float64
+
+	// DisableFeedback freezes the query weights at their initial values,
+	// disabling the Eq. 11 satisfaction feedback (ablation).
+	DisableFeedback bool
+	// DisableDependencyGraph makes every region an immediate scheduling
+	// candidate, ignoring output dependencies (ablation).
+	DisableDependencyGraph bool
+	// DisableContractBenefit ranks regions purely by estimated output
+	// count rather than contract utility (ablation: a count-driven
+	// scheduler in the CAQE skeleton, ProgXe+-style).
+	DisableContractBenefit bool
+	// DisableRegionDiscard skips Algorithm 1's "discard regions dominated
+	// by generated tuples" step (ablation; also part of the S-JFSL
+	// configuration).
+	DisableRegionDiscard bool
+	// DataOrderScheduling processes regions blindly in construction order
+	// instead of by CSM — the "pipeline the input through the shared plan"
+	// behaviour of the S-JFSL comparison strategy (§7.1).
+	DataOrderScheduling bool
+
+	// Trace, when set, receives one event per scheduling decision: regions
+	// picked for tuple-level processing, deferred after a score refresh, or
+	// discarded by generated results. Intended for debugging and tooling;
+	// tracing does not affect the schedule or the virtual clock.
+	Trace func(TraceEvent)
+}
+
+// TraceEvent describes one optimizer decision.
+type TraceEvent struct {
+	// Kind is "schedule" (region sent to tuple-level processing), "defer"
+	// (region re-queued after a lazy score refresh), or "discard" (region
+	// killed for one query by a generated result).
+	Kind   string
+	Region int     // region ID
+	Score  float64 // CSM at the decision (schedule/defer)
+	Query  int     // affected query (discard), -1 otherwise
+	Time   float64 // virtual seconds
+}
+
+func (o Options) withDefaults() Options {
+	if o.TargetCells <= 0 {
+		o.TargetCells = 24
+	}
+	if o.GridResolution <= 0 {
+		o.GridResolution = 64
+	}
+	if o.ExactProgCountCap == 0 {
+		o.ExactProgCountCap = 512
+	}
+	if o.CmpPerResult <= 0 {
+		o.CmpPerResult = 4
+	}
+	return o
+}
+
+// Engine executes one workload over one pair of base relations.
+type Engine struct {
+	w    *workload.Workload
+	r, t *tuple.Relation
+	opt  Options
+}
+
+// New validates the inputs and returns an engine.
+func New(w *workload.Workload, r, t *tuple.Relation, opt Options) (*Engine, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if r == nil || t == nil {
+		return nil, fmt.Errorf("core: nil input relation")
+	}
+	for _, jc := range w.JoinConds {
+		if jc.LeftKey < 0 || jc.LeftKey >= r.Schema.NumKeys() {
+			return nil, fmt.Errorf("core: join condition %s references key %d of relation %s (%d keys)",
+				jc.Name, jc.LeftKey, r.Schema.Name, r.Schema.NumKeys())
+		}
+		if jc.RightKey < 0 || jc.RightKey >= t.Schema.NumKeys() {
+			return nil, fmt.Errorf("core: join condition %s references key %d of relation %s (%d keys)",
+				jc.Name, jc.RightKey, t.Schema.Name, t.Schema.NumKeys())
+		}
+	}
+	for _, f := range w.OutDims {
+		if f.LeftAttr >= r.Schema.NumAttrs() {
+			return nil, fmt.Errorf("core: mapping %s references attribute %d of relation %s (%d attributes)",
+				f.Name, f.LeftAttr, r.Schema.Name, r.Schema.NumAttrs())
+		}
+		if f.RightAttr >= t.Schema.NumAttrs() {
+			return nil, fmt.Errorf("core: mapping %s references attribute %d of relation %s (%d attributes)",
+				f.Name, f.RightAttr, t.Schema.Name, t.Schema.NumAttrs())
+		}
+	}
+	return &Engine{w: w, r: r, t: t, opt: opt.withDefaults()}, nil
+}
+
+// Execute runs the full CAQE pipeline and returns the execution report.
+// estTotals optionally supplies the final result cardinality N per query
+// for cardinality-based contracts (nil if unknown).
+func (e *Engine) Execute(estTotals []int) (*run.Report, error) {
+	clock := metrics.NewClock()
+	rep := run.NewReport("CAQE", e.w, estTotals)
+	if err := e.ExecuteInto(clock, rep, nil); err != nil {
+		return nil, err
+	}
+	rep.Finish(clock.Now()/metrics.VirtualSecond, clock.Counters())
+	return rep, nil
+}
+
+// ExecuteInto runs the pipeline on a caller-provided clock and report,
+// without finalizing the report. qremap, when non-nil, maps this engine's
+// local query indices onto the report's query indices, allowing a
+// comparison strategy to run several (sub-)workloads sequentially on one
+// clock — the time-shared processing mode of the non-sharing baselines.
+func (e *Engine) ExecuteInto(clock *metrics.Clock, rep *run.Report, qremap []int) error {
+	if qremap != nil && len(qremap) != len(e.w.Queries) {
+		return fmt.Errorf("core: qremap has %d entries for %d queries", len(qremap), len(e.w.Queries))
+	}
+	rcells, err := partition.Partition(e.r, partition.DefaultOptions(e.r.Len(), e.opt.TargetCells))
+	if err != nil {
+		return fmt.Errorf("core: partitioning %s: %w", e.r.Schema.Name, err)
+	}
+	tcells, err := partition.Partition(e.t, partition.DefaultOptions(e.t.Len(), e.opt.TargetCells))
+	if err != nil {
+		return fmt.Errorf("core: partitioning %s: %w", e.t.Schema.Name, err)
+	}
+
+	space, err := region.BuildSpace(e.w, rcells, tcells,
+		region.Options{GridResolution: e.opt.GridResolution}, clock)
+	if err != nil {
+		return fmt.Errorf("core: building output space: %w", err)
+	}
+
+	cuboid, err := skycube.BuildCuboid(e.w.Prefs())
+	if err != nil {
+		return fmt.Errorf("core: building min-max cuboid: %w", err)
+	}
+	shared := skycube.NewSharedSkyline(cuboid, clock)
+
+	st := newState(e, clock, space, shared, rep)
+	if qremap != nil {
+		st.qremap = qremap
+	}
+	st.run()
+	return nil
+}
+
+// Plan exposes the derived shared plan and output space without executing;
+// used by diagnostics, examples and tests.
+func (e *Engine) Plan() (*skycube.Cuboid, *region.Space, error) {
+	rcells, err := partition.Partition(e.r, partition.DefaultOptions(e.r.Len(), e.opt.TargetCells))
+	if err != nil {
+		return nil, nil, err
+	}
+	tcells, err := partition.Partition(e.t, partition.DefaultOptions(e.t.Len(), e.opt.TargetCells))
+	if err != nil {
+		return nil, nil, err
+	}
+	space, err := region.BuildSpace(e.w, rcells, tcells,
+		region.Options{GridResolution: e.opt.GridResolution}, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	cuboid, err := skycube.BuildCuboid(e.w.Prefs())
+	if err != nil {
+		return nil, nil, err
+	}
+	return cuboid, space, nil
+}

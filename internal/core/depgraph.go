@@ -1,0 +1,143 @@
+package core
+
+import (
+	"container/heap"
+
+	"caqe/internal/region"
+	"caqe/internal/skycube"
+)
+
+// buildDepGraph constructs the dependency graph of Definition 9: a directed
+// edge R_i → R_j annotated with the queries W_{i,j} for which R_i's best
+// output cells can dominate R_j's (best-corner dominance in the query's
+// preference subspace). Within one subspace this relation is a strict
+// partial order, but its union across queries can contain cycles (R_i
+// before R_j for Q_1 in dims {d1,d2}, R_j before R_i for Q_2 in {d2,d3}),
+// which would deadlock Algorithm 1's root-driven schedule. Edges are
+// therefore filtered through a global linear order — the input pipeline
+// order (ascending region ID, row-major over cell pairs) — whose
+// restriction is always acyclic; dominance edges agreeing with the order
+// are kept, conflicting ones (ambiguous mutual constraints) are dropped.
+// The pipeline order also keeps the root schedule aligned with input
+// cells, which matters when scores tie (see csmHeap).
+// Per-pair dominance geometry is resolved once and shared across queries.
+func (st *state) buildDepGraph() {
+	m := len(st.regions)
+	st.outEdges = make([][]depEdge, m)
+	st.indegree = make([]int, m)
+	if st.e.opt.DisableDependencyGraph {
+		return
+	}
+	prefMask := make([]uint64, len(st.w.Queries))
+	for qi, q := range st.w.Queries {
+		prefMask[qi] = q.Pref.Mask()
+	}
+	for i, ri := range st.regions {
+		for j, rj := range st.regions {
+			if j <= i || ri.Alive&rj.Alive == 0 {
+				continue // only forward edges: the pipeline order is the DAG's linear extension
+			}
+			st.clock.CountCellOp(1)
+			_, _, bestWeak, bestStrict := region.DomMasks(ri, rj)
+			var mask uint64
+			for _, qi := range (ri.Alive & rj.Alive).Queries() {
+				pm := prefMask[qi]
+				if pm&bestWeak == pm && pm&bestStrict != 0 {
+					mask |= 1 << uint(qi)
+				}
+			}
+			if mask != 0 {
+				st.outEdges[i] = append(st.outEdges[i], depEdge{dst: j, mask: skycube.QSet(mask)})
+				st.indegree[j]++
+			}
+		}
+	}
+}
+
+// releaseEdges removes the out-edges of a finished (processed or discarded)
+// region, pushing any newly-rooted regions into the priority queue.
+func (st *state) releaseEdges(ri int) {
+	for _, e := range st.outEdges[ri] {
+		st.indegree[e.dst]--
+		if st.indegree[e.dst] == 0 && !st.processed[e.dst] && !st.inQueue[e.dst] && st.pq != nil {
+			st.pq.push(e.dst, st.csm(st.regions[e.dst]))
+			st.inQueue[e.dst] = true
+		}
+	}
+	st.outEdges[ri] = nil
+}
+
+// csmHeap is a max-heap of (region, score) used as Algorithm 1's inverted
+// priority queue. Entries may be stale; callers skip processed regions and
+// lazily refresh scores on pop.
+//
+// Scores are compared on a log2 bucket: regions whose benefit estimates are
+// within a factor of two are considered equivalent and processed in input
+// pipeline order (ascending region ID, i.e. row-major over the input cell
+// pairs) instead. A result's blocking regions share its input cells, so
+// completing cell pairs systematically maximizes emission opportunities;
+// without this, densely overlapping regions (anti-correlated data) carry
+// near-equal scores whose float noise scatters the schedule across the
+// space and no result's blocking set ever completes until the very end.
+type csmHeap struct{ items []csmItem }
+
+type csmItem struct {
+	region int
+	score  float64
+	bucket int
+}
+
+func scoreBucket(score float64) int {
+	if score <= 0 {
+		return -1 << 30
+	}
+	b := 0
+	for score >= 2 {
+		score /= 2
+		b++
+	}
+	for score < 1 {
+		score *= 2
+		b--
+	}
+	return b
+}
+
+func newCSMHeap() *csmHeap { return &csmHeap{} }
+
+func (h *csmHeap) Len() int { return len(h.items) }
+func (h *csmHeap) Less(i, j int) bool {
+	if h.items[i].bucket != h.items[j].bucket {
+		return h.items[i].bucket > h.items[j].bucket // max-heap on benefit
+	}
+	return h.items[i].region < h.items[j].region // then pipeline order
+}
+func (h *csmHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *csmHeap) Push(x interface{}) { h.items = append(h.items, x.(csmItem)) }
+func (h *csmHeap) Pop() interface{} {
+	n := len(h.items)
+	it := h.items[n-1]
+	h.items = h.items[:n-1]
+	return it
+}
+
+func (h *csmHeap) push(region int, score float64) {
+	heap.Push(h, csmItem{region: region, score: score, bucket: scoreBucket(score)})
+}
+
+// popBest removes and returns the top region; ok is false when empty.
+func (h *csmHeap) popBest() (region int, ok bool) {
+	if h.Len() == 0 {
+		return 0, false
+	}
+	it := heap.Pop(h).(csmItem)
+	return it.region, true
+}
+
+// peekBucket returns the current top score bucket without removing it.
+func (h *csmHeap) peekBucket() (int, bool) {
+	if h.Len() == 0 {
+		return 0, false
+	}
+	return h.items[0].bucket, true
+}

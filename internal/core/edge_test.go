@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"caqe/internal/contract"
+	"caqe/internal/datagen"
+	"caqe/internal/tuple"
+	"caqe/internal/workload"
+)
+
+// mkConst builds a relation of n identical tuples sharing one join key.
+func mkConst(name string, n, dims int, val float64) *tuple.Relation {
+	schema := tuple.Schema{Name: name, KeyNames: []string{"k"}}
+	for k := 0; k < dims; k++ {
+		schema.AttrNames = append(schema.AttrNames, string(rune('a'+k)))
+	}
+	rel := tuple.NewRelation(schema)
+	attrs := make([]float64, dims)
+	for k := range attrs {
+		attrs[k] = val
+	}
+	for i := 0; i < n; i++ {
+		rel.MustAppend(append([]float64(nil), attrs...), []int64{1})
+	}
+	return rel
+}
+
+// TestIdenticalTuplesFullCross: every tuple identical, one join key → the
+// join is a full cross product and every result ties; all of them are in
+// every skyline. The engine must deliver the complete cross product.
+func TestIdenticalTuplesFullCross(t *testing.T) {
+	w := testWorkload(4, 3, workload.UniformPriority, c3s)
+	r := mkConst("R", 12, 3, 5)
+	tt := mkConst("T", 12, 3, 7)
+	eng, err := New(w, r, tt, Options{TargetCells: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range rep.PerQuery {
+		if got := len(rep.PerQuery[qi]); got != 144 {
+			t.Fatalf("query %d delivered %d of 144 tied results", qi, got)
+		}
+	}
+}
+
+// TestSingleTupleRelations: the smallest possible inputs.
+func TestSingleTupleRelations(t *testing.T) {
+	w := testWorkload(4, 3, workload.UniformPriority, c3s)
+	r := mkConst("R", 1, 3, 1)
+	tt := mkConst("T", 1, 3, 2)
+	eng, err := New(w, r, tt, Options{TargetCells: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range rep.PerQuery {
+		if len(rep.PerQuery[qi]) != 1 {
+			t.Fatalf("query %d delivered %d results", qi, len(rep.PerQuery[qi]))
+		}
+	}
+}
+
+// TestFullSelectivity: σ = 1 (every pair joins) must still work and agree
+// with a direct evaluation count.
+func TestFullSelectivity(t *testing.T) {
+	w := testWorkload(4, 3, workload.HighDimsHigh, c3s)
+	r, tt, err := datagen.Pair(60, 3, datagen.Independent, []float64{1}, 81)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(w, r, tt, Options{TargetCells: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters.JoinResults == 0 {
+		t.Fatal("no join results at σ=1")
+	}
+	for qi := range rep.PerQuery {
+		if len(rep.PerQuery[qi]) == 0 {
+			t.Fatalf("query %d empty at σ=1", qi)
+		}
+	}
+}
+
+// TestMoreCellsThanTuples: TargetCells far above N degenerates to
+// one-tuple cells; correctness must hold.
+func TestMoreCellsThanTuples(t *testing.T) {
+	w := testWorkload(4, 3, workload.UniformPriority, c3s)
+	r, tt, err := datagen.Pair(20, 3, datagen.Independent, []float64{0.2}, 83)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(w, r, tt, Options{TargetCells: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Execute(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTinyGrid: a 1-cell output grid collapses every ProgCount to a single
+// cell; scheduling degrades but correctness must not.
+func TestTinyGrid(t *testing.T) {
+	w := testWorkload(4, 3, workload.UniformPriority, c3s)
+	r, tt, err := datagen.Pair(100, 3, datagen.Independent, []float64{0.05}, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []int{1, 2} {
+		eng, err := New(w, r, tt, Options{TargetCells: 4, GridResolution: res})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Execute(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := New(w, r, tt, Options{TargetCells: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrep, err := want.Execute(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range rep.PerQuery {
+			if len(rep.PerQuery[qi]) != len(wrep.PerQuery[qi]) {
+				t.Fatalf("grid %d query %d: %d vs %d results", res, qi, len(rep.PerQuery[qi]), len(wrep.PerQuery[qi]))
+			}
+		}
+	}
+}
+
+// TestDuplicateContractInstancesShared: the same Contract value shared by
+// several queries must not alias tracker state across queries.
+func TestDuplicateContractInstancesShared(t *testing.T) {
+	shared := contract.C1(50)
+	w := testWorkload(4, 3, workload.UniformPriority, func(int) contract.Contract { return shared })
+	r, tt, err := datagen.Pair(150, 3, datagen.Independent, []float64{0.05}, 87)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(w, r, tt, Options{TargetCells: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, tr := range rep.Trackers {
+		if tr.Count() != len(rep.PerQuery[qi]) {
+			t.Fatalf("query %d tracker saw %d observations for %d emissions — tracker state aliased",
+				qi, tr.Count(), len(rep.PerQuery[qi]))
+		}
+	}
+}

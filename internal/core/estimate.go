@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+
+	"caqe/internal/contract"
+	"caqe/internal/join"
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+	"caqe/internal/region"
+)
+
+// estimateSelectivities derives σ per join condition from one pass over the
+// base relations' key histograms: σ̂ = Σ_v n_R(v)·n_T(v) / (|R|·|T|), the
+// exact probability that a random tuple pair joins.
+func estimateSelectivities(jcs []join.EquiJoin, nR, nT int, st *state) []float64 {
+	out := make([]float64, len(jcs))
+	if nR == 0 || nT == 0 {
+		return out
+	}
+	for j, jc := range jcs {
+		histR := make(map[int64]int)
+		for i := 0; i < nR; i++ {
+			histR[st.e.r.At(i).Key(jc.LeftKey)]++
+		}
+		matches := 0.0
+		for i := 0; i < nT; i++ {
+			matches += float64(histR[st.e.t.At(i).Key(jc.RightKey)])
+		}
+		out[j] = matches / (float64(nR) * float64(nT))
+	}
+	return out
+}
+
+// buchta implements Eq. 9, Buchta's estimate of the expected skyline size
+// of x uniform points in d dimensions: ln(x)^{d-1} / (d-1)!. The result is
+// clamped to [0, x].
+func buchta(x float64, d int) float64 {
+	if x <= 1 {
+		return math.Max(0, x)
+	}
+	est := math.Pow(math.Log(x), float64(d-1)) / factorial(d-1)
+	return math.Min(est, x)
+}
+
+func factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+// sigmaFor returns the estimated join selectivity applicable to query qi.
+func (st *state) sigmaFor(qi int) float64 {
+	return st.jcSigma[st.w.Queries[qi].JC]
+}
+
+// costEstimate predicts t_c, the virtual time needed for the tuple-level
+// processing of a region: the join probes of every relevant join condition
+// plus the materialization and skyline handling of the expected results.
+func (st *state) costEstimate(rc *region.Region) float64 {
+	na := float64(rc.RCell.Len())
+	nb := float64(rc.TCell.Len())
+	t := 0.0
+	for j := range st.w.JoinConds {
+		if st.jcQueries[j]&rc.Alive == 0 {
+			continue
+		}
+		pairs := na * nb
+		results := st.jcSigma[j] * pairs
+		t += pairs*metrics.CostJoinProbe +
+			results*(metrics.CostJoinResult+st.e.opt.CmpPerResult*metrics.CostSkylineCmp)
+	}
+	return t
+}
+
+// cardinality implements Eq. 9 for one region and query: the expected
+// number of skyline results among the region's join output.
+func (st *state) cardinality(rc *region.Region, qi int) float64 {
+	na := float64(rc.RCell.Len())
+	nb := float64(rc.TCell.Len())
+	x := st.sigmaFor(qi) * na * nb
+	return buchta(x, len(st.w.Queries[qi].Pref))
+}
+
+// dominatorsByQuery collects, in one pass over the live regions, the
+// regions whose best corner could dominate at least one output cell of rc,
+// grouped per query of rc.Alive. The per-pair dominance geometry is
+// resolved once as a dimension mask and reused across queries (the
+// coarse-level sharing of §4.1); one cell operation is charged per live
+// pair, not per query.
+func (st *state) dominatorsByQuery(rc *region.Region) map[int][]*region.Region {
+	doms := make(map[int][]*region.Region)
+	for fi, rf := range st.regions {
+		if st.processed[fi] || rf == rc || rf.Alive&rc.Alive == 0 {
+			continue
+		}
+		st.clock.CountCellOp(1)
+		var mask uint64
+		for k := range rf.Lo {
+			if rf.Lo[k] <= rc.Hi[k] {
+				mask |= 1 << uint(k)
+			}
+		}
+		for _, qi := range (rf.Alive & rc.Alive).Queries() {
+			pm := st.prefMask[qi]
+			if pm&mask == pm {
+				doms[qi] = append(doms[qi], rf)
+			}
+		}
+	}
+	return doms
+}
+
+// progCount implements Definition 11: the number of rc's output cells (in
+// the query's preference subspace) not dominated by any live region that
+// serves the same query. Small regions are enumerated exactly over the
+// output grid; larger ones use the volume-fraction estimate with the
+// independence approximation for the union (see DESIGN.md).
+func (st *state) progCount(rc *region.Region, qi int, doms []*region.Region) (prog, total float64) {
+	pref := st.w.Queries[qi].Pref
+	total = float64(st.space.CellCount(rc, pref))
+	if len(doms) == 0 {
+		return total, total
+	}
+	cap64 := st.e.opt.ExactProgCountCap
+	if cap64 > 0 && total <= float64(cap64) {
+		return st.exactProgCount(rc, qi, pref, doms), total
+	}
+	// Volume estimate: fraction of rc not covered by the union of the
+	// dominated sub-boxes, approximating independence across dominators.
+	free := 1.0
+	for _, rf := range doms {
+		free *= 1 - region.DominatedFraction(pref, rc, rf)
+		if free <= 0 {
+			return 0, total
+		}
+	}
+	return free * total, total
+}
+
+// exactProgCount enumerates rc's grid cells in the preference subspace and
+// counts those whose lower corner no dominator's best corner weakly
+// dominates.
+func (st *state) exactProgCount(rc *region.Region, qi int, pref preference.Subspace, doms []*region.Region) float64 {
+	lo := make([]int, len(pref))
+	hi := make([]int, len(pref))
+	for i, k := range pref {
+		lo[i] = int(math.Floor((rc.Lo[k] - st.space.GridLo[k]) / st.space.GridStep[k]))
+		hi[i] = int(math.Floor((rc.Hi[k] - st.space.GridLo[k]) / st.space.GridStep[k]))
+	}
+	coord := append([]int(nil), lo...)
+	count := 0.0
+	for {
+		// Lower corner of the current cell.
+		st.clock.CountCellOp(1)
+		dominated := false
+		for _, rf := range doms {
+			ok := true
+			for i, k := range pref {
+				corner := st.space.GridLo[k] + float64(coord[i])*st.space.GridStep[k]
+				if rf.Lo[k] > corner {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			count++
+		}
+		// Advance the odometer.
+		i := 0
+		for ; i < len(coord); i++ {
+			coord[i]++
+			if coord[i] <= hi[i] {
+				break
+			}
+			coord[i] = lo[i]
+		}
+		if i == len(coord) {
+			break
+		}
+	}
+	return count
+}
+
+// progEst implements Eq. 10: the expected number of results of rc that can
+// be progressively output for query qi right after its processing.
+func (st *state) progEst(rc *region.Region, qi int, doms []*region.Region) float64 {
+	prog, total := st.progCount(rc, qi, doms)
+	if total <= 0 {
+		return 0
+	}
+	return (prog / total) * st.cardinality(rc, qi)
+}
+
+// csm implements Eq. 8, the Cumulative Satisfaction Metric of a candidate
+// region: the weighted sum over served queries of the expected progressive
+// output, valued at the utility a tuple would have when the region's
+// tuple-level processing completes (t_curr + t_c).
+func (st *state) csm(rc *region.Region) float64 {
+	tc := st.costEstimate(rc)
+	at := (st.clock.Now() + tc) / metrics.VirtualSecond
+	doms := st.dominatorsByQuery(rc)
+	total := 0.0
+	for _, qi := range rc.Alive.Queries() {
+		est := st.progEst(rc, qi, doms[qi])
+		if st.e.opt.DisableContractBenefit {
+			total += est // count-driven ablation
+			continue
+		}
+		u := contract.ExpectedUtilityAt(st.w.Queries[qi].Contract, at)
+		total += st.weights[qi] * est * u
+	}
+	return total
+}

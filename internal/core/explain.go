@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"caqe/internal/region"
+	"caqe/internal/skycube"
+)
+
+// PlanExplain is a structured description of the derived shared plan and
+// output space, for diagnostics, tooling and tests.
+type PlanExplain struct {
+	// Cuboid structure.
+	Queries         int
+	CuboidSubspaces int
+	SkycubeSize     int // subspaces serving ≥ 1 query before min-max reduction
+	FullSkycubeSize int // 2^d - 1 over the workload's union of dimensions
+	Levels          []ExplainLevel
+
+	// Input partitioning.
+	RCells, TCells int
+
+	// Output space.
+	CellPairs           int // R-cells × T-cells
+	Regions             int // surviving regions after the coarse join + skyline
+	CoarsePruned        int // cell pairs discarded before tuple-level processing
+	AvgQueriesPerRegion float64
+}
+
+// ExplainLevel summarizes one level of the min-max cuboid.
+type ExplainLevel struct {
+	Level     int
+	Subspaces []string // canonical keys, with the queries each serves
+}
+
+// Explain derives the shared plan and output space without executing and
+// returns the structured summary.
+func (e *Engine) Explain() (*PlanExplain, error) {
+	cuboid, space, err := e.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return explain(e, cuboid, space), nil
+}
+
+func explain(e *Engine, cuboid *skycube.Cuboid, space *region.Space) *PlanExplain {
+	ex := &PlanExplain{
+		Queries:         cuboid.NumQueries(),
+		CuboidSubspaces: len(cuboid.Nodes),
+		SkycubeSize:     cuboid.SkycubeSize(),
+		FullSkycubeSize: (1 << uint(len(cuboid.Dims()))) - 1,
+		Regions:         len(space.Regions),
+	}
+	byLevel := map[int][]string{}
+	maxLevel := 0
+	for _, n := range cuboid.Nodes {
+		byLevel[n.Level] = append(byLevel[n.Level], fmt.Sprintf("{%s}%s", n.Key(), n.QServe))
+		if n.Level > maxLevel {
+			maxLevel = n.Level
+		}
+	}
+	for lvl := 0; lvl <= maxLevel; lvl++ {
+		ex.Levels = append(ex.Levels, ExplainLevel{Level: lvl, Subspaces: byLevel[lvl]})
+	}
+	if len(space.Regions) > 0 {
+		total := 0
+		for _, r := range space.Regions {
+			total += r.Alive.Count()
+		}
+		ex.AvgQueriesPerRegion = float64(total) / float64(len(space.Regions))
+	}
+	// Cell counts are reconstructed from any region; when the space is
+	// empty they stay zero.
+	seenR := map[int]bool{}
+	seenT := map[int]bool{}
+	for _, r := range space.Regions {
+		seenR[r.RCell.ID] = true
+		seenT[r.TCell.ID] = true
+	}
+	ex.RCells, ex.TCells = len(seenR), len(seenT)
+	ex.CellPairs = ex.RCells * ex.TCells
+	ex.CoarsePruned = ex.CellPairs - ex.Regions
+	if ex.CoarsePruned < 0 {
+		ex.CoarsePruned = 0
+	}
+	return ex
+}
+
+// String renders the explanation for terminals.
+func (ex *PlanExplain) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shared min-max cuboid: %d subspaces (pruned skycube %d, full skycube %d) for %d queries\n",
+		ex.CuboidSubspaces, ex.SkycubeSize, ex.FullSkycubeSize, ex.Queries)
+	for _, lvl := range ex.Levels {
+		fmt.Fprintf(&b, "  level %d: %s\n", lvl.Level, strings.Join(lvl.Subspaces, "  "))
+	}
+	fmt.Fprintf(&b, "output space: %d regions over ~%d×%d joinable cells (%d cell pairs pruned at coarse level)\n",
+		ex.Regions, ex.RCells, ex.TCells, ex.CoarsePruned)
+	fmt.Fprintf(&b, "avg queries served per region: %.2f\n", ex.AvgQueriesPerRegion)
+	return b.String()
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"sort"
+
+	"caqe/internal/join"
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+	"caqe/internal/region"
+	"caqe/internal/run"
+	"caqe/internal/skycube"
+	"caqe/internal/workload"
+)
+
+// payloadInfo records one materialized join result.
+type payloadInfo struct {
+	rid, tid int
+	out      []float64
+	lineage  skycube.QSet
+	emitted  skycube.QSet
+}
+
+// state is the mutable execution state of one CAQE run: Algorithm 1's
+// region collection, dependency graph, priority queue and weights, plus the
+// executor's pending-result bookkeeping.
+type state struct {
+	e      *Engine
+	w      *workload.Workload
+	clock  *metrics.Clock
+	space  *region.Space
+	shared *skycube.SharedSkyline
+	rep    *run.Report
+
+	regions   []*region.Region
+	processed []bool // tuple-level done OR discarded
+	jcQueries []skycube.QSet
+	jcSigma   []float64
+	prefMask  []uint64 // per-query preference bitmask
+
+	outEdges [][]depEdge
+	indegree []int
+	pq       *csmHeap
+	inQueue  []bool
+
+	weights  []float64
+	payloads []payloadInfo
+	pending  [][]int         // per query: new candidate payloads awaiting their first safety check
+	blocked  []map[int][]int // per query: blocking live region index -> parked payloads
+	qremap   []int           // local query index -> report query index
+
+	frontier      [][]frontierCorner // per query: minimal best corners of live regions
+	frontierDirty []bool
+}
+
+// frontierCorner is one minimal best corner of the live regions of a query,
+// remembering which region it belongs to so parked results can be re-vetted
+// exactly when their blocking region disappears.
+type frontierCorner struct {
+	region int
+	corner []float64
+}
+
+type depEdge struct {
+	dst  int
+	mask skycube.QSet // W_{i,j}: queries for which src must precede dst
+}
+
+func newState(e *Engine, clock *metrics.Clock, space *region.Space, shared *skycube.SharedSkyline, rep *run.Report) *state {
+	nq := len(e.w.Queries)
+	st := &state{
+		e:             e,
+		w:             e.w,
+		clock:         clock,
+		space:         space,
+		shared:        shared,
+		rep:           rep,
+		regions:       space.Regions,
+		processed:     make([]bool, len(space.Regions)),
+		weights:       make([]float64, nq),
+		pending:       make([][]int, nq),
+		blocked:       make([]map[int][]int, nq),
+		frontier:      make([][]frontierCorner, nq),
+		frontierDirty: make([]bool, nq),
+	}
+	for i := range st.blocked {
+		st.blocked[i] = make(map[int][]int)
+	}
+	st.qremap = make([]int, nq)
+	st.prefMask = make([]uint64, nq)
+	for i, q := range e.w.Queries {
+		// Initial weights fold the query priority into the benefit model;
+		// Eq. 11 feedback then re-balances toward unsatisfied queries.
+		st.weights[i] = 1 + q.Priority
+		st.frontierDirty[i] = true
+		st.qremap[i] = i
+		st.prefMask[i] = q.Pref.Mask()
+	}
+	st.jcQueries = make([]skycube.QSet, len(e.w.JoinConds))
+	for j := range e.w.JoinConds {
+		st.jcQueries[j] = e.w.QueriesWithJC(j)
+	}
+	st.jcSigma = estimateSelectivities(e.w.JoinConds, e.r.Len(), e.t.Len(), st)
+	st.buildDepGraph()
+	return st
+}
+
+// run executes Algorithm 1: iteratively pick the root region with the
+// highest CSM, process it at tuple level, discard regions dominated by the
+// generated tuples, release dependency edges, emit newly-safe results and
+// update the feedback weights.
+func (st *state) run() {
+	if st.e.opt.DataOrderScheduling {
+		st.runDataOrder()
+		return
+	}
+	st.initQueue()
+	deferrals := 0
+	for st.pq.Len() > 0 {
+		ri, popped := st.pq.popBest()
+		if !popped {
+			break
+		}
+		if st.processed[ri] {
+			continue
+		}
+		st.inQueue[ri] = false
+		// Lazy refresh: CSM drifts as time advances and regions die. If the
+		// recomputed score falls below the next-best root, reinsert and take
+		// the next entry instead. Recomputing advances the clock (it is
+		// counted coarse work), so deferrals are bounded to guarantee
+		// progress.
+		if deferrals < 3 && st.pq.Len() > 0 {
+			score := st.csm(st.regions[ri])
+			if next, ok := st.pq.peekBucket(); ok && scoreBucket(score) < next {
+				st.pq.push(ri, score)
+				st.inQueue[ri] = true
+				deferrals++
+				st.trace(TraceEvent{Kind: "defer", Region: ri, Score: score, Query: -1})
+				continue
+			}
+		}
+		deferrals = 0
+		st.trace(TraceEvent{Kind: "schedule", Region: ri, Query: -1})
+
+		rc := st.regions[ri]
+		newPayloads := st.processRegion(rc)
+		st.processed[ri] = true
+		st.clock.CountRegionDone()
+		st.markFrontiersDirty(rc.Alive)
+
+		var killed skycube.QSet
+		if !st.e.opt.DisableRegionDiscard {
+			killed = st.discardDominated(rc, newPayloads)
+		}
+		st.releaseEdges(ri)
+		st.emitSafe(rc.Alive | killed)
+		if !st.e.opt.DisableFeedback {
+			st.updateWeights()
+		}
+	}
+	st.flushRemaining()
+}
+
+// runDataOrder pipelines the regions through the shared plan blindly in
+// construction order: the S-JFSL behaviour — all of the plan sharing, none
+// of the contract-driven scheduling.
+func (st *state) runDataOrder() {
+	for ri, rc := range st.regions {
+		if st.processed[ri] {
+			continue
+		}
+		st.trace(TraceEvent{Kind: "schedule", Region: ri, Query: -1})
+		newPayloads := st.processRegion(rc)
+		st.processed[ri] = true
+		st.clock.CountRegionDone()
+		st.markFrontiersDirty(rc.Alive)
+
+		var killed skycube.QSet
+		if !st.e.opt.DisableRegionDiscard {
+			killed = st.discardDominated(rc, newPayloads)
+		}
+		st.emitSafe(rc.Alive | killed)
+		if !st.e.opt.DisableFeedback {
+			st.updateWeights()
+		}
+	}
+	st.flushRemaining()
+}
+
+// initQueue seeds the priority queue with the dependency-graph roots.
+func (st *state) initQueue() {
+	st.pq = newCSMHeap()
+	st.inQueue = make([]bool, len(st.regions))
+	for i := range st.regions {
+		if st.indegree[i] == 0 {
+			st.pq.push(i, st.csm(st.regions[i]))
+			st.inQueue[i] = true
+		}
+	}
+}
+
+// processRegion performs the tuple-level evaluation of §6: join the
+// region's input cells under every relevant join condition, project, and
+// insert each result into the shared min-max cuboid skyline with its cell
+// query lineage. It returns the payload IDs of the generated results.
+func (st *state) processRegion(rc *region.Region) []int {
+	var created []int
+	for j, jc := range st.w.JoinConds {
+		qmask := st.jcQueries[j] & rc.Alive
+		if qmask == 0 {
+			continue
+		}
+		results := join.NestedLoop(jc, st.w.OutDims, rc.RCell.Tuples, rc.TCell.Tuples, st.clock)
+		for _, res := range results {
+			payload := len(st.payloads)
+			st.payloads = append(st.payloads, payloadInfo{
+				rid: res.RID, tid: res.TID, out: res.Out, lineage: qmask,
+			})
+			alive := st.shared.Insert(payload, res.Out, qmask)
+			created = append(created, payload)
+			for _, qi := range alive.Queries() {
+				st.pending[qi] = append(st.pending[qi], payload)
+			}
+		}
+	}
+	return created
+}
+
+// discardDominated implements the "Discard regions dominated by generated
+// tuple(s)" step of Algorithm 1: a generated result that dominates the best
+// corner of an unprocessed region in a query's preference proves that the
+// region cannot contribute any result for that query. Returns the set of
+// queries for which at least one region died (their emission frontiers
+// shrink).
+func (st *state) discardDominated(rc *region.Region, newPayloads []int) skycube.QSet {
+	var killedQueries skycube.QSet
+	for _, qi := range rc.Alive.Queries() {
+		pref := st.w.Queries[qi].Pref
+		// Candidates for query qi among the new results: only current
+		// skyline candidates can wholesale-dominate a region (dominance is
+		// transitive, so the dominators of dominators suffice).
+		var champs [][]float64
+		for _, p := range newPayloads {
+			if st.payloads[p].lineage.Has(qi) && st.shared.IsCandidate(p, qi) {
+				champs = append(champs, st.payloads[p].out)
+			}
+		}
+		if len(champs) == 0 {
+			continue
+		}
+		for fi, rf := range st.regions {
+			if st.processed[fi] || rf == rc || !rf.Alive.Has(qi) {
+				continue
+			}
+			for _, x := range champs {
+				st.clock.CountCellOp(1)
+				if preference.DominatesIn(pref, x, rf.Lo) {
+					rf.Alive &^= 1 << uint(qi)
+					killedQueries = killedQueries.Add(qi)
+					st.trace(TraceEvent{Kind: "discard", Region: fi, Query: st.qremap[qi]})
+					if rf.Alive == 0 {
+						st.processed[fi] = true
+						st.clock.CountRegionPruned()
+						st.releaseEdges(fi)
+					}
+					break
+				}
+			}
+		}
+	}
+	st.markFrontiersDirty(killedQueries)
+	return killedQueries
+}
+
+// emitSafe re-evaluates the results of the affected queries and emits every
+// result that is now guaranteed final: it is still a skyline candidate and
+// no live region could produce a dominating tuple (§6 "Progressive Result
+// Reporting"). The live-region set only ever shrinks, so an unsafe result
+// stays unsafe until its specific blocking region dies: each parked result
+// is indexed under its blocking witness and re-vetted exactly when that
+// region is processed or discarded for the query.
+func (st *state) emitSafe(affected skycube.QSet) {
+	for _, qi := range affected.Queries() {
+		st.refreshFrontier(qi)
+		// Re-vet results whose blocking region is gone (deterministic
+		// ascending region order).
+		var gone []int
+		for f := range st.blocked[qi] {
+			if st.processed[f] || !st.regions[f].Alive.Has(qi) {
+				gone = append(gone, f)
+			}
+		}
+		sort.Ints(gone)
+		for _, f := range gone {
+			list := st.blocked[qi][f]
+			delete(st.blocked[qi], f)
+			for _, p := range list {
+				st.vet(qi, p)
+			}
+		}
+		// First safety check for freshly generated candidates.
+		for _, p := range st.pending[qi] {
+			st.vet(qi, p)
+		}
+		st.pending[qi] = st.pending[qi][:0]
+	}
+}
+
+// vet emits a candidate if no live region can dominate it; otherwise parks
+// it under the first frontier corner that blocks it.
+func (st *state) vet(qi, p int) {
+	info := &st.payloads[p]
+	if info.emitted.Has(qi) {
+		return
+	}
+	if !st.shared.IsCandidate(p, qi) {
+		return // dominated since insertion: drop
+	}
+	pref := st.w.Queries[qi].Pref
+	for _, fc := range st.frontier[qi] {
+		st.clock.CountCellOp(1)
+		if preference.WeakDominatesIn(pref, fc.corner, info.out) {
+			st.blocked[qi][fc.region] = append(st.blocked[qi][fc.region], p)
+			return
+		}
+	}
+	st.emit(qi, p)
+}
+
+// emit delivers one result to one query at the current virtual time.
+func (st *state) emit(qi, payload int) {
+	info := &st.payloads[payload]
+	info.emitted = info.emitted.Add(qi)
+	st.clock.CountEmit(1)
+	st.rep.Emit(run.Emission{
+		Query: st.qremap[qi],
+		RID:   info.rid,
+		TID:   info.tid,
+		Out:   info.out,
+		Time:  st.clock.Now() / metrics.VirtualSecond,
+	})
+}
+
+// refreshFrontier recomputes the minimal best corners of the live regions
+// of a query (the only corners that matter for the safety test) and
+// reports whether the frontier actually changed. Corners are sorted by
+// coordinate sum — a monotone function of weak dominance — so each corner
+// need only be checked against the already-accepted minima (the SFS
+// trick), keeping the refresh near-linear.
+func (st *state) refreshFrontier(qi int) {
+	if !st.frontierDirty[qi] {
+		return
+	}
+	st.frontierDirty[qi] = false
+	pref := st.w.Queries[qi].Pref
+	var corners []frontierCorner
+	for fi, rf := range st.regions {
+		if st.processed[fi] || !rf.Alive.Has(qi) {
+			continue
+		}
+		corners = append(corners, frontierCorner{region: fi, corner: rf.Lo})
+	}
+	sum := func(c []float64) float64 {
+		s := 0.0
+		for _, k := range pref {
+			s += c[k]
+		}
+		return s
+	}
+	sort.SliceStable(corners, func(i, j int) bool { return sum(corners[i].corner) < sum(corners[j].corner) })
+	minimal := corners[:0:0]
+	for _, c := range corners {
+		dominated := false
+		for _, o := range minimal {
+			st.clock.CountCellOp(1)
+			if preference.WeakDominatesIn(pref, o.corner, c.corner) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			minimal = append(minimal, c)
+		}
+	}
+	st.frontier[qi] = minimal
+}
+
+func (st *state) markFrontiersDirty(qs skycube.QSet) {
+	for _, qi := range qs.Queries() {
+		st.frontierDirty[qi] = true
+	}
+}
+
+// updateWeights applies the satisfaction feedback of Eq. 11: queries whose
+// run-time satisfaction trails the current maximum get their weight bumped
+// so the optimizer prioritizes regions serving them.
+func (st *state) updateWeights() {
+	n := len(st.w.Queries)
+	vmax := 0.0
+	vs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vs[i] = st.rep.Trackers[st.qremap[i]].Runtime()
+		if vs[i] > vmax {
+			vmax = vs[i]
+		}
+	}
+	den := 0.0
+	for _, v := range vs {
+		den += vmax - v
+	}
+	if den <= 0 {
+		return
+	}
+	for i := range st.weights {
+		st.weights[i] += (vmax - vs[i]) / den
+	}
+}
+
+// flushRemaining emits every still-parked candidate at the end of
+// processing: with no live regions left, every surviving candidate is
+// final. Payloads are emitted in deterministic ascending order.
+func (st *state) flushRemaining() {
+	for qi := range st.pending {
+		var rest []int
+		rest = append(rest, st.pending[qi]...)
+		var keys []int
+		for f := range st.blocked[qi] {
+			keys = append(keys, f)
+		}
+		sort.Ints(keys)
+		for _, f := range keys {
+			rest = append(rest, st.blocked[qi][f]...)
+		}
+		st.blocked[qi] = nil
+		st.pending[qi] = nil
+		sort.Ints(rest)
+		for _, p := range rest {
+			info := &st.payloads[p]
+			if info.emitted.Has(qi) {
+				continue
+			}
+			if !st.shared.IsCandidate(p, qi) {
+				continue
+			}
+			st.emit(qi, p)
+		}
+	}
+}
+
+// trace forwards an optimizer decision to the configured hook, stamping
+// the current virtual time.
+func (st *state) trace(ev TraceEvent) {
+	if st.e.opt.Trace == nil {
+		return
+	}
+	ev.Time = st.clock.Now() / metrics.VirtualSecond
+	st.e.opt.Trace(ev)
+}

@@ -1,0 +1,241 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "R", N: 50, Dims: 3, Distribution: Independent,
+		NumKeys: 1, KeyDomain: []int64{10}, Seed: 42}
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	if a.Len() != b.Len() {
+		t.Fatal("different lengths")
+	}
+	for i := 0; i < a.Len(); i++ {
+		ta, tb := a.At(i), b.At(i)
+		for k := range ta.Attrs {
+			if ta.Attrs[k] != tb.Attrs[k] {
+				t.Fatalf("tuple %d attr %d differs", i, k)
+			}
+		}
+		if ta.Keys[0] != tb.Keys[0] {
+			t.Fatalf("tuple %d key differs", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := Config{Name: "R", N: 50, Dims: 2, Distribution: Independent, Seed: 1}
+	a := MustGenerate(cfg)
+	cfg.Seed = 2
+	b := MustGenerate(cfg)
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		for k := range a.At(i).Attrs {
+			if a.At(i).Attrs[k] != b.At(i).Attrs[k] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestValuesInRange(t *testing.T) {
+	for _, dist := range []Distribution{Independent, Correlated, AntiCorrelated} {
+		rel := MustGenerate(Config{Name: "R", N: 500, Dims: 4, Distribution: dist, Seed: 3})
+		for i := 0; i < rel.Len(); i++ {
+			for k, v := range rel.At(i).Attrs {
+				if v < AttrMin || v > AttrMax {
+					t.Fatalf("%s: tuple %d dim %d = %g outside [%g,%g]", dist, i, k, v, AttrMin, AttrMax)
+				}
+			}
+		}
+	}
+}
+
+// pearson computes the sample correlation between two attribute columns.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		cov += (xs[i] - mx) * (ys[i] - my)
+		vx += (xs[i] - mx) * (xs[i] - mx)
+		vy += (ys[i] - my) * (ys[i] - my)
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+func columns(relLen int, dims int, at func(i, k int) float64) [][]float64 {
+	cols := make([][]float64, dims)
+	for k := 0; k < dims; k++ {
+		cols[k] = make([]float64, relLen)
+		for i := 0; i < relLen; i++ {
+			cols[k][i] = at(i, k)
+		}
+	}
+	return cols
+}
+
+func TestDistributionCorrelations(t *testing.T) {
+	const n, d = 2000, 3
+	check := func(dist Distribution, lo, hi float64) {
+		rel := MustGenerate(Config{Name: "R", N: n, Dims: d, Distribution: dist, Seed: 7})
+		cols := columns(rel.Len(), d, func(i, k int) float64 { return rel.At(i).Attr(k) })
+		for a := 0; a < d; a++ {
+			for b := a + 1; b < d; b++ {
+				r := pearson(cols[a], cols[b])
+				if r < lo || r > hi {
+					t.Errorf("%s: corr(a%d,a%d) = %.3f outside [%g, %g]", dist, a, b, r, lo, hi)
+				}
+			}
+		}
+	}
+	check(Independent, -0.1, 0.1)
+	check(Correlated, 0.5, 1.0)
+	check(AntiCorrelated, -1.0, -0.2)
+}
+
+func TestCorrelatedSkylineIsTiny(t *testing.T) {
+	// The hallmark of correlated data: a handful of tuples dominate almost
+	// everything. Count non-dominated tuples naively.
+	rel := MustGenerate(Config{Name: "R", N: 500, Dims: 3, Distribution: Correlated, Seed: 11})
+	count := skylineSize(rel.Len(), func(i int) []float64 { return rel.At(i).Attrs })
+	if count > 25 {
+		t.Errorf("correlated 3-d skyline of 500 tuples has %d members; expected few", count)
+	}
+	anti := MustGenerate(Config{Name: "R", N: 500, Dims: 3, Distribution: AntiCorrelated, Seed: 11})
+	antiCount := skylineSize(anti.Len(), func(i int) []float64 { return anti.At(i).Attrs })
+	if antiCount <= count*2 {
+		t.Errorf("anti-correlated skyline (%d) not clearly larger than correlated (%d)", antiCount, count)
+	}
+}
+
+func skylineSize(n int, at func(int) []float64) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		dominated := false
+		for j := 0; j < n && !dominated; j++ {
+			if i == j {
+				continue
+			}
+			a, b := at(j), at(i)
+			le, lt := true, false
+			for k := range a {
+				if a[k] > b[k] {
+					le = false
+					break
+				}
+				if a[k] < b[k] {
+					lt = true
+				}
+			}
+			dominated = le && lt
+		}
+		if !dominated {
+			count++
+		}
+	}
+	return count
+}
+
+func TestJoinDomainForSelectivity(t *testing.T) {
+	cases := []struct {
+		sigma float64
+		want  int64
+	}{
+		{1, 1}, {2, 1}, {0.5, 2}, {0.1, 10}, {0.01, 100}, {1e-4, 10000},
+	}
+	for _, c := range cases {
+		if got := JoinDomainForSelectivity(c.sigma); got != c.want {
+			t.Errorf("JoinDomainForSelectivity(%g) = %d, want %d", c.sigma, got, c.want)
+		}
+	}
+	if got := JoinDomainForSelectivity(0); got < math.MaxInt32 {
+		t.Errorf("zero selectivity should yield a huge domain, got %d", got)
+	}
+}
+
+func TestPairEmpiricalSelectivity(t *testing.T) {
+	const n = 1000
+	sigma := 0.02
+	r, s, err := Pair(n, 2, Independent, []float64{sigma}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := 0
+	hist := map[int64]int{}
+	for i := 0; i < n; i++ {
+		hist[r.At(i).Key(0)]++
+	}
+	for i := 0; i < n; i++ {
+		matches += hist[s.At(i).Key(0)]
+	}
+	got := float64(matches) / float64(n*n)
+	if got < sigma/2 || got > sigma*2 {
+		t.Errorf("empirical selectivity %.4f far from requested %.4f", got, sigma)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Name: "R", N: -1, Dims: 2},
+		{Name: "R", N: 10, Dims: 0},
+		{Name: "R", N: 10, Dims: 2, NumKeys: 1},                            // missing domain
+		{Name: "R", N: 10, Dims: 2, NumKeys: 1, KeyDomain: []int64{0}},     // bad domain
+		{Name: "R", N: 10, Dims: 2, NumKeys: 0, KeyDomain: []int64{5}},     // extra domain
+		{Name: "R", N: 10, Dims: 2, NumKeys: 2, KeyDomain: []int64{5, -1}}, // negative domain
+	}
+	for i, c := range cases {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, s := range []string{"independent", "ind", "correlated", "cor", "anti-correlated", "anticorrelated", "anti"} {
+		if _, err := ParseDistribution(s); err != nil {
+			t.Errorf("ParseDistribution(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseDistribution("zipf"); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Independent.String() != "independent" ||
+		Correlated.String() != "correlated" ||
+		AntiCorrelated.String() != "anti-correlated" {
+		t.Error("distribution names broken")
+	}
+	if Distribution(99).String() == "" {
+		t.Error("unknown distribution should still render")
+	}
+}
+
+func TestGenerateSchemaShape(t *testing.T) {
+	rel := MustGenerate(Config{Name: "X", N: 3, Dims: 2, Distribution: Independent,
+		NumKeys: 2, KeyDomain: []int64{4, 9}, Seed: 1})
+	if rel.Schema.Name != "X" || rel.Schema.NumAttrs() != 2 || rel.Schema.NumKeys() != 2 {
+		t.Fatalf("schema = %+v", rel.Schema)
+	}
+	for i := 0; i < rel.Len(); i++ {
+		if k := rel.At(i).Key(0); k < 0 || k >= 4 {
+			t.Errorf("key 0 out of domain: %d", k)
+		}
+		if k := rel.At(i).Key(1); k < 0 || k >= 9 {
+			t.Errorf("key 1 out of domain: %d", k)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package join implements the relational operators under a skyline-over-join
+// query (§2.2): equi-join conditions JC_i, scalar mapping functions F
+// (the PROJECT operator), and the coarse cell-level join test via cell
+// signatures (§5.1).
+package join
+
+import (
+	"fmt"
+
+	"caqe/internal/metrics"
+	"caqe/internal/tuple"
+)
+
+// EquiJoin is a join condition JC: equality between one key column of the
+// left relation and one key column of the right relation.
+type EquiJoin struct {
+	Name     string
+	LeftKey  int // key column index in R
+	RightKey int // key column index in T
+}
+
+// Matches reports whether the tuple pair satisfies the condition.
+func (jc EquiJoin) Matches(r, t *tuple.Tuple) bool {
+	return r.Key(jc.LeftKey) == t.Key(jc.RightKey)
+}
+
+// String renders the condition, e.g. "JC1: R.jk0 = T.jk0".
+func (jc EquiJoin) String() string {
+	return fmt.Sprintf("%s: R.k%d = T.k%d", jc.Name, jc.LeftKey, jc.RightKey)
+}
+
+// MapFunc is one scalar mapping function f_j of the PROJECT operator,
+// restricted to the monotone affine form
+//
+//	f(r, t) = LeftW·r[LeftAttr] + RightW·t[RightAttr] + Bias
+//
+// with non-negative weights. Monotonicity lets the coarse level derive exact
+// output bounds for a cell pair by interval arithmetic (§5.1). Set an
+// attribute index to -1 (with weight 0) to ignore that side. The standard
+// benchmark mapping is Sum: r[k] + t[k].
+type MapFunc struct {
+	Name      string
+	LeftAttr  int
+	RightAttr int
+	LeftW     float64
+	RightW    float64
+	Bias      float64
+}
+
+// Sum returns the canonical mapping r[k] + t[k] used throughout the
+// evaluation workloads.
+func Sum(name string, k int) MapFunc {
+	return MapFunc{Name: name, LeftAttr: k, RightAttr: k, LeftW: 1, RightW: 1}
+}
+
+// LeftOnly returns a mapping that passes through r[k].
+func LeftOnly(name string, k int) MapFunc {
+	return MapFunc{Name: name, LeftAttr: k, RightAttr: -1, LeftW: 1}
+}
+
+// RightOnly returns a mapping that passes through t[k].
+func RightOnly(name string, k int) MapFunc {
+	return MapFunc{Name: name, LeftAttr: -1, RightAttr: k, RightW: 1}
+}
+
+// Weighted returns LeftW·r[lk] + RightW·t[rk] + bias.
+func Weighted(name string, lk, rk int, lw, rw, bias float64) MapFunc {
+	return MapFunc{Name: name, LeftAttr: lk, RightAttr: rk, LeftW: lw, RightW: rw, Bias: bias}
+}
+
+// Validate reports an error for non-monotone (negative-weight) or malformed
+// mappings.
+func (f MapFunc) Validate() error {
+	if f.LeftW < 0 || f.RightW < 0 {
+		return fmt.Errorf("join: mapping %s has negative weight; coarse bounds require monotone mappings", f.Name)
+	}
+	if f.LeftW > 0 && f.LeftAttr < 0 {
+		return fmt.Errorf("join: mapping %s uses the left side but has no left attribute", f.Name)
+	}
+	if f.RightW > 0 && f.RightAttr < 0 {
+		return fmt.Errorf("join: mapping %s uses the right side but has no right attribute", f.Name)
+	}
+	return nil
+}
+
+// Eval applies the mapping to a joined tuple pair.
+func (f MapFunc) Eval(r, t *tuple.Tuple) float64 {
+	v := f.Bias
+	if f.LeftAttr >= 0 {
+		v += f.LeftW * r.Attr(f.LeftAttr)
+	}
+	if f.RightAttr >= 0 {
+		v += f.RightW * t.Attr(f.RightAttr)
+	}
+	return v
+}
+
+// Bounds returns the exact output interval of the mapping over the
+// cross-product of two axis-aligned input boxes (lR..uR) × (lT..uT).
+func (f MapFunc) Bounds(lR, uR, lT, uT []float64) (lo, hi float64) {
+	lo, hi = f.Bias, f.Bias
+	if f.LeftAttr >= 0 {
+		lo += f.LeftW * lR[f.LeftAttr]
+		hi += f.LeftW * uR[f.LeftAttr]
+	}
+	if f.RightAttr >= 0 {
+		lo += f.RightW * lT[f.RightAttr]
+		hi += f.RightW * uT[f.RightAttr]
+	}
+	return lo, hi
+}
+
+// Project applies a set of mapping functions to a joined pair, producing the
+// output point (the PROJECT operator of §2.2).
+func Project(fs []MapFunc, r, t *tuple.Tuple) []float64 {
+	out := make([]float64, len(fs))
+	for i, f := range fs {
+		out[i] = f.Eval(r, t)
+	}
+	return out
+}
+
+// Result is one materialized join result: the originating tuple IDs and the
+// projected output point.
+type Result struct {
+	RID, TID int
+	Out      []float64
+}
+
+// NestedLoop materializes the equi-join of two tuple slices under jc,
+// projecting with fs, charging every probe and result to the clock. It is
+// the tuple-level join primitive used for cell pairs and the full-relation
+// baseline path.
+func NestedLoop(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock) []Result {
+	var out []Result
+	for _, r := range rs {
+		for _, t := range ts {
+			if clock != nil {
+				clock.CountJoinProbe(1)
+			}
+			if !jc.Matches(r, t) {
+				continue
+			}
+			if clock != nil {
+				clock.CountJoinResult(1)
+			}
+			out = append(out, Result{RID: r.ID, TID: t.ID, Out: Project(fs, r, t)})
+		}
+	}
+	return out
+}
+
+// HashJoin materializes the same result as NestedLoop using a hash table on
+// the right side. The virtual clock is charged one probe per left tuple
+// (plus one per produced result), reflecting the cheaper per-tuple work of a
+// hash join; baselines that the paper describes as nested-loop style should
+// use NestedLoop to preserve relative costs.
+func HashJoin(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock) []Result {
+	idx := make(map[int64][]*tuple.Tuple, len(ts))
+	for _, t := range ts {
+		k := t.Key(jc.RightKey)
+		idx[k] = append(idx[k], t)
+	}
+	var out []Result
+	for _, r := range rs {
+		if clock != nil {
+			clock.CountJoinProbe(1)
+		}
+		for _, t := range idx[r.Key(jc.LeftKey)] {
+			if clock != nil {
+				clock.CountJoinResult(1)
+			}
+			out = append(out, Result{RID: r.ID, TID: t.ID, Out: Project(fs, r, t)})
+		}
+	}
+	return out
+}

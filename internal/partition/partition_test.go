@@ -1,0 +1,285 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"caqe/internal/datagen"
+	"caqe/internal/metrics"
+	"caqe/internal/tuple"
+)
+
+func testRelation(n, dims, keys int, seed int64) *tuple.Relation {
+	domains := make([]int64, keys)
+	for i := range domains {
+		domains[i] = 20
+	}
+	return datagen.MustGenerate(datagen.Config{
+		Name: "R", N: n, Dims: dims, Distribution: datagen.Independent,
+		NumKeys: keys, KeyDomain: domains, Seed: seed,
+	})
+}
+
+func TestKDMedianHitsTarget(t *testing.T) {
+	for _, target := range []int{1, 2, 8, 16, 32} {
+		rel := testRelation(640, 3, 1, 1)
+		cells, err := Partition(rel, DefaultOptions(rel.Len(), target))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cells) < target/2 || len(cells) > target*2 {
+			t.Errorf("target %d: got %d cells", target, len(cells))
+		}
+	}
+}
+
+func TestCellsPartitionTheRelation(t *testing.T) {
+	for _, mode := range []SplitMode{KDMedian, QuadMidpoint} {
+		rel := testRelation(300, 3, 1, 2)
+		opt := Options{Mode: mode, TargetLeaves: 16, MaxLeafSize: 20, MaxDepth: 12}
+		cells, err := Partition(rel, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]int{}
+		for _, c := range cells {
+			for _, tu := range c.Tuples {
+				seen[tu.ID]++
+			}
+		}
+		if len(seen) != rel.Len() {
+			t.Fatalf("mode %d: %d of %d tuples covered", mode, len(seen), rel.Len())
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("mode %d: tuple %d appears in %d cells", mode, id, n)
+			}
+		}
+	}
+}
+
+func TestBoundsAreTight(t *testing.T) {
+	rel := testRelation(200, 2, 0, 3)
+	cells, err := Partition(rel, DefaultOptions(rel.Len(), 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		for k := 0; k < 2; k++ {
+			minV, maxV := c.Tuples[0].Attr(k), c.Tuples[0].Attr(k)
+			for _, tu := range c.Tuples {
+				if tu.Attr(k) < minV {
+					minV = tu.Attr(k)
+				}
+				if tu.Attr(k) > maxV {
+					maxV = tu.Attr(k)
+				}
+			}
+			if c.Lo[k] != minV || c.Hi[k] != maxV {
+				t.Fatalf("cell %d dim %d bounds [%g,%g] not tight (members span [%g,%g])",
+					c.ID, k, c.Lo[k], c.Hi[k], minV, maxV)
+			}
+		}
+	}
+}
+
+func TestSignaturesMatchMembers(t *testing.T) {
+	rel := testRelation(300, 2, 2, 4)
+	cells, err := Partition(rel, DefaultOptions(rel.Len(), 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		for k := 0; k < 2; k++ {
+			want := map[int64]bool{}
+			for _, tu := range c.Tuples {
+				want[tu.Key(k)] = true
+			}
+			if len(want) != len(c.Sigs[k]) {
+				t.Fatalf("cell %d key %d: signature size %d != %d distinct values",
+					c.ID, k, len(c.Sigs[k]), len(want))
+			}
+			for v := range want {
+				if _, ok := c.Sigs[k][v]; !ok {
+					t.Fatalf("cell %d key %d: value %d missing from signature", c.ID, k, v)
+				}
+			}
+		}
+	}
+}
+
+func TestSignatureIntersects(t *testing.T) {
+	a := Signature{1: {}, 2: {}, 3: {}}
+	b := Signature{3: {}, 4: {}}
+	c := Signature{5: {}}
+	if !a.Intersects(b, nil) || !b.Intersects(a, nil) {
+		t.Error("overlapping signatures reported disjoint")
+	}
+	if a.Intersects(c, nil) || c.Intersects(a, nil) {
+		t.Error("disjoint signatures reported overlapping")
+	}
+	var empty Signature
+	if empty.Intersects(a, nil) {
+		t.Error("empty signature intersects")
+	}
+	clock := metrics.NewClock()
+	a.Intersects(c, clock)
+	if clock.Counters().CellOps == 0 {
+		t.Error("intersection probes not charged")
+	}
+}
+
+func TestCellIDsSequential(t *testing.T) {
+	rel := testRelation(100, 2, 0, 5)
+	cells, err := Partition(rel, DefaultOptions(rel.Len(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		if c.ID != i {
+			t.Fatalf("cell %d has ID %d", i, c.ID)
+		}
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	rel := tuple.NewRelation(tuple.Schema{Name: "E", AttrNames: []string{"a"}})
+	cells, err := Partition(rel, DefaultOptions(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 0 {
+		t.Fatalf("empty relation produced %d cells", len(cells))
+	}
+}
+
+func TestIdenticalTuples(t *testing.T) {
+	rel := tuple.NewRelation(tuple.Schema{Name: "I", AttrNames: []string{"a", "b"}})
+	for i := 0; i < 50; i++ {
+		rel.MustAppend([]float64{5, 5}, nil)
+	}
+	for _, mode := range []SplitMode{KDMedian, QuadMidpoint} {
+		cells, err := Partition(rel, Options{Mode: mode, TargetLeaves: 8, MaxLeafSize: 10, MaxDepth: 8})
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		total := 0
+		for _, c := range cells {
+			total += c.Len()
+		}
+		if total != 50 {
+			t.Fatalf("mode %d: %d tuples in cells", mode, total)
+		}
+	}
+}
+
+func TestInvalidOptions(t *testing.T) {
+	rel := testRelation(10, 2, 0, 6)
+	if _, err := Partition(rel, Options{MaxLeafSize: 0}); err == nil {
+		t.Error("MaxLeafSize 0 accepted")
+	}
+	if _, err := Partition(rel, Options{Mode: SplitMode(9), MaxLeafSize: 5}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestNoNumericAttrsRejected(t *testing.T) {
+	rel := tuple.NewRelation(tuple.Schema{Name: "K", KeyNames: []string{"k"}})
+	rel.MustAppend(nil, []int64{1})
+	if _, err := Partition(rel, Options{MaxLeafSize: 5}); err == nil {
+		t.Error("relation without numeric attributes accepted")
+	}
+}
+
+func TestQuadMidpointRespectsDepth(t *testing.T) {
+	rel := testRelation(256, 2, 0, 7)
+	cells, err := Partition(rel, Options{Mode: QuadMidpoint, MaxLeafSize: 1, MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth 2 with 2^2-way splits allows at most 16 leaves.
+	if len(cells) > 16 {
+		t.Fatalf("depth-2 quad tree produced %d cells", len(cells))
+	}
+}
+
+func TestKDMedianBalanced(t *testing.T) {
+	rel := testRelation(512, 3, 0, 8)
+	cells, err := Partition(rel, DefaultOptions(512, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		if c.Len() < 16 || c.Len() > 64 {
+			t.Errorf("cell %d holds %d tuples; expected balanced leaves around 32", c.ID, c.Len())
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rel := testRelation(300, 3, 1, 9)
+	a, _ := Partition(rel, DefaultOptions(300, 8))
+	b, _ := Partition(rel, DefaultOptions(300, 8))
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic cell count")
+	}
+	for i := range a {
+		if a[i].Len() != b[i].Len() {
+			t.Fatalf("cell %d sizes differ", i)
+		}
+		for j := range a[i].Tuples {
+			if a[i].Tuples[j].ID != b[i].Tuples[j].ID {
+				t.Fatalf("cell %d member %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestLargeDimCountRejected(t *testing.T) {
+	schema := tuple.Schema{Name: "W"}
+	for i := 0; i < 17; i++ {
+		schema.AttrNames = append(schema.AttrNames, string(rune('a'+i)))
+	}
+	rel := tuple.NewRelation(schema)
+	attrs := make([]float64, 17)
+	rel.MustAppend(attrs, nil)
+	if _, err := Partition(rel, Options{Mode: QuadMidpoint, MaxLeafSize: 1}); err == nil {
+		t.Error("17-dimensional quad split accepted")
+	}
+}
+
+// TestPartitionCoverageQuick: for arbitrary small relations and targets,
+// partitioning must cover every tuple exactly once with members inside
+// their cell bounds.
+func TestPartitionCoverageQuick(t *testing.T) {
+	check := func(rawN, rawTarget uint8, seed int64) bool {
+		n := 1 + int(rawN%200)
+		target := 1 + int(rawTarget%32)
+		rel := datagen.MustGenerate(datagen.Config{
+			Name: "R", N: n, Dims: 3, Distribution: datagen.Independent,
+			NumKeys: 1, KeyDomain: []int64{7}, Seed: seed,
+		})
+		cells, err := Partition(rel, DefaultOptions(n, target))
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool, n)
+		for _, c := range cells {
+			for _, tu := range c.Tuples {
+				if seen[tu.ID] {
+					return false
+				}
+				seen[tu.ID] = true
+				for k := 0; k < 3; k++ {
+					if tu.Attr(k) < c.Lo[k] || tu.Attr(k) > c.Hi[k] {
+						return false
+					}
+				}
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,336 @@
+// Package region implements the abstract multi-query output space of §5:
+// output *regions* produced by the coarse-level join of input cell pairs
+// (§5.1), the coarse-level skyline that prunes regions guaranteed not to
+// contribute to any query (§5.2), region dominance (Definition 8), region
+// query lineage RQL, and the output-space grid used for progressive
+// emission decisions and the ProgCount estimate (§5.3, §6).
+package region
+
+import (
+	"fmt"
+	"math"
+
+	"caqe/internal/metrics"
+	"caqe/internal/partition"
+	"caqe/internal/preference"
+	"caqe/internal/skycube"
+	"caqe/internal/workload"
+)
+
+// Region is one d-dimensional region of the output space: the image of a
+// pair of input cells under the workload's mapping functions, annotated
+// with the queries it serves.
+type Region struct {
+	ID     int
+	RCell  *partition.Cell
+	TCell  *partition.Cell
+	Lo, Hi []float64 // exact output bounds per output dimension
+
+	// RQL is the region query lineage: every query whose join signature
+	// test passed for this cell pair (§5.1).
+	RQL skycube.QSet
+	// Alive is RQL minus queries for which the coarse-level skyline proved
+	// the region cannot contribute (§5.2). Execution further shrinks Alive
+	// as tuple-level results dominate the region.
+	Alive skycube.QSet
+}
+
+// String renders the region compactly.
+func (r *Region) String() string {
+	return fmt.Sprintf("R%d[%v %v]%s", r.ID, r.Lo, r.Hi, r.Alive)
+}
+
+// FullyDominatesIn reports Definition 8 case (1): r's worst corner weakly
+// dominates o's best corner in subspace v with at least one strict
+// dimension, so every tuple of r dominates every tuple of o.
+func (r *Region) FullyDominatesIn(v preference.Subspace, o *Region) bool {
+	strict := false
+	for _, k := range v {
+		if r.Hi[k] > o.Lo[k] {
+			return false
+		}
+		if r.Hi[k] < o.Lo[k] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// PartiallyDominatesIn reports Definition 8 case (2): some tuple of r could
+// dominate some tuple of o — r's best corner weakly dominates o's worst
+// corner with a strict dimension — excluding full dominance.
+func (r *Region) PartiallyDominatesIn(v preference.Subspace, o *Region) bool {
+	strict := false
+	for _, k := range v {
+		if r.Lo[k] > o.Hi[k] {
+			return false
+		}
+		if r.Lo[k] < o.Hi[k] {
+			strict = true
+		}
+	}
+	return strict && !r.FullyDominatesIn(v, o)
+}
+
+// BestCornerDominates reports whether r's best corner strictly dominates
+// o's best corner in v. This asymmetric, acyclic relation orders the
+// dependency-graph edges (§5.3.2): if it holds, tuples of r can dominate
+// o's best output cells, so r should be processed first.
+func (r *Region) BestCornerDominates(v preference.Subspace, o *Region) bool {
+	return preference.DominatesIn(v, r.Lo, o.Lo)
+}
+
+// Space is the abstract multi-query output space: all surviving regions
+// plus the output grid geometry.
+type Space struct {
+	W       *workload.Workload
+	Regions []*Region
+
+	GridLo   []float64 // global lower bound of the output space
+	GridStep []float64 // grid cell extent per output dimension
+}
+
+// Options configures MQLA.
+type Options struct {
+	// GridResolution is the number of grid cells per output dimension
+	// (default 64) spanning the global output bounds.
+	GridResolution int
+}
+
+// BuildSpace performs the coarse-level join of §5.1: every pair of input
+// leaf cells is tested per join condition by signature intersection; pairs
+// serving at least one query become regions with exact output bounds
+// derived by interval arithmetic over the mapping functions. It then runs
+// the coarse-level skyline of §5.2, discarding regions that cannot
+// contribute to any query. Cell-level work is charged to the clock.
+func BuildSpace(w *workload.Workload, rcells, tcells []*partition.Cell, opt Options, clock *metrics.Clock) (*Space, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	res := opt.GridResolution
+	if res <= 0 {
+		res = 64
+	}
+
+	// Queries grouped by join condition so each signature test is shared.
+	jcQueries := make([]skycube.QSet, len(w.JoinConds))
+	for j := range w.JoinConds {
+		jcQueries[j] = w.QueriesWithJC(j)
+	}
+
+	s := &Space{W: w}
+	for _, rc := range rcells {
+		for _, tc := range tcells {
+			var rql skycube.QSet
+			for j, jc := range w.JoinConds {
+				if jcQueries[j] == 0 {
+					continue
+				}
+				if clock != nil {
+					clock.CountCellOp(1)
+				}
+				if rc.Sigs[jc.LeftKey].Intersects(tc.Sigs[jc.RightKey], clock) {
+					rql |= jcQueries[j]
+				}
+			}
+			if rql == 0 {
+				if clock != nil {
+					clock.CountRegionPruned()
+				}
+				continue
+			}
+			reg := &Region{
+				ID:    len(s.Regions),
+				RCell: rc,
+				TCell: tc,
+				Lo:    make([]float64, len(w.OutDims)),
+				Hi:    make([]float64, len(w.OutDims)),
+				RQL:   rql,
+				Alive: rql,
+			}
+			for k, f := range w.OutDims {
+				reg.Lo[k], reg.Hi[k] = f.Bounds(rc.Lo, rc.Hi, tc.Lo, tc.Hi)
+			}
+			s.Regions = append(s.Regions, reg)
+		}
+	}
+
+	s.initGrid(res)
+	s.coarsePrune(clock)
+	return s, nil
+}
+
+// initGrid derives the global output bounds and grid steps.
+func (s *Space) initGrid(res int) {
+	nd := len(s.W.OutDims)
+	s.GridLo = make([]float64, nd)
+	s.GridStep = make([]float64, nd)
+	if len(s.Regions) == 0 {
+		for k := range s.GridStep {
+			s.GridStep[k] = 1
+		}
+		return
+	}
+	hi := make([]float64, nd)
+	for k := 0; k < nd; k++ {
+		s.GridLo[k] = math.Inf(1)
+		hi[k] = math.Inf(-1)
+	}
+	for _, r := range s.Regions {
+		for k := 0; k < nd; k++ {
+			if r.Lo[k] < s.GridLo[k] {
+				s.GridLo[k] = r.Lo[k]
+			}
+			if r.Hi[k] > hi[k] {
+				hi[k] = r.Hi[k]
+			}
+		}
+	}
+	for k := 0; k < nd; k++ {
+		ext := hi[k] - s.GridLo[k]
+		if ext <= 0 {
+			ext = 1
+		}
+		s.GridStep[k] = ext / float64(res)
+	}
+}
+
+// coarsePrune implements the coarse-level skyline (§5.2): for every query,
+// a region fully dominated in the query's preference by any other region
+// serving that query cannot contribute a single result and loses the query
+// from its Alive set. Full dominance is transitive within a subspace, so
+// filtering against all serving regions (dominated or not) is exact.
+// Regions left with an empty Alive set are discarded.
+//
+// Dominance between a region pair is resolved once as per-dimension masks
+// and then reused across every shared query — the coarse-level analogue of
+// the paper's "comparisons along shared dimensions only once" (§4.1); the
+// single mask computation is charged as one cell-level operation.
+func (s *Space) coarsePrune(clock *metrics.Clock) {
+	prefMask := make([]uint64, len(s.W.Queries))
+	for qi, q := range s.W.Queries {
+		prefMask[qi] = q.Pref.Mask()
+	}
+	for _, r := range s.Regions {
+		for _, o := range s.Regions {
+			if o == r || o.RQL&r.RQL == 0 || r.Alive == 0 {
+				continue
+			}
+			if clock != nil {
+				clock.CountCellOp(1)
+			}
+			fullWeak, fullStrict, _, _ := DomMasks(o, r)
+			for _, qi := range (o.RQL & r.Alive).Queries() {
+				pm := prefMask[qi]
+				if pm&fullWeak == pm && pm&fullStrict != 0 {
+					r.Alive &^= 1 << uint(qi)
+				}
+			}
+		}
+	}
+	kept := s.Regions[:0]
+	for _, r := range s.Regions {
+		if r.Alive != 0 {
+			r.ID = len(kept)
+			kept = append(kept, r)
+		} else if clock != nil {
+			clock.CountRegionPruned()
+		}
+	}
+	s.Regions = kept
+}
+
+// DomMasks resolves the dominance geometry of an ordered region pair once,
+// as per-dimension bitmasks reusable across every subspace:
+//
+//   - fullWeak/fullStrict: dimensions where a's worst corner is ≤ / < b's
+//     best corner. a fully dominates b in subspace V (Definition 8 case 1)
+//     iff V ⊆ fullWeak and V ∩ fullStrict ≠ ∅.
+//   - bestWeak/bestStrict: dimensions where a's best corner is ≤ / < b's
+//     best corner. a's best corner dominates b's (the dependency-graph edge
+//     order) iff V ⊆ bestWeak and V ∩ bestStrict ≠ ∅.
+func DomMasks(a, b *Region) (fullWeak, fullStrict, bestWeak, bestStrict uint64) {
+	for k := range a.Lo {
+		bit := uint64(1) << uint(k)
+		if a.Hi[k] <= b.Lo[k] {
+			fullWeak |= bit
+			if a.Hi[k] < b.Lo[k] {
+				fullStrict |= bit
+			}
+		}
+		if a.Lo[k] <= b.Lo[k] {
+			bestWeak |= bit
+			if a.Lo[k] < b.Lo[k] {
+				bestStrict |= bit
+			}
+		}
+	}
+	return
+}
+
+// CellIndex returns the grid coordinate of an output point.
+func (s *Space) CellIndex(pt []float64) []int {
+	idx := make([]int, len(pt))
+	for k, v := range pt {
+		idx[k] = int(math.Floor((v - s.GridLo[k]) / s.GridStep[k]))
+	}
+	return idx
+}
+
+// CellBounds returns the box of the grid cell at the given coordinates.
+func (s *Space) CellBounds(idx []int) (lo, hi []float64) {
+	lo = make([]float64, len(idx))
+	hi = make([]float64, len(idx))
+	for k, i := range idx {
+		lo[k] = s.GridLo[k] + float64(i)*s.GridStep[k]
+		hi[k] = lo[k] + s.GridStep[k]
+	}
+	return lo, hi
+}
+
+// CellCount returns the number of grid cells a region spans in subspace v
+// (Definition 10's CellCount), saturating at math.MaxInt64 conceptually but
+// practically capped by float conversion.
+func (s *Space) CellCount(r *Region, v preference.Subspace) int64 {
+	n := int64(1)
+	for _, k := range v {
+		span := int64(math.Floor((r.Hi[k]-s.GridLo[k])/s.GridStep[k])) -
+			int64(math.Floor((r.Lo[k]-s.GridLo[k])/s.GridStep[k])) + 1
+		if span < 1 {
+			span = 1
+		}
+		if n > (1<<62)/span {
+			return 1 << 62
+		}
+		n *= span
+	}
+	return n
+}
+
+// DominatedFraction estimates the fraction of r's volume in subspace v that
+// is dominated by the best corner of o: the sub-box of r weakly dominated
+// by o.Lo on every dimension of v. Used by the volume-based ProgCount
+// estimator (see DESIGN.md).
+func DominatedFraction(v preference.Subspace, r, o *Region) float64 {
+	f := 1.0
+	for _, k := range v {
+		ext := r.Hi[k] - r.Lo[k]
+		if ext <= 0 {
+			// Degenerate extent: the dimension is a point; dominated iff
+			// o's best corner is at or below it.
+			if o.Lo[k] <= r.Lo[k] {
+				continue
+			}
+			return 0
+		}
+		covered := (r.Hi[k] - math.Max(r.Lo[k], o.Lo[k])) / ext
+		if covered <= 0 {
+			return 0
+		}
+		if covered > 1 {
+			covered = 1
+		}
+		f *= covered
+	}
+	return f
+}

@@ -1,0 +1,469 @@
+package region
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"caqe/internal/contract"
+	"caqe/internal/datagen"
+	"caqe/internal/join"
+	"caqe/internal/metrics"
+	"caqe/internal/partition"
+	"caqe/internal/preference"
+	"caqe/internal/tuple"
+	"caqe/internal/workload"
+)
+
+func testWorkload(nq, dims int) *workload.Workload {
+	w := workload.MustBenchmark(workload.BenchmarkConfig{
+		NumQueries: nq,
+		Dims:       dims,
+		Priority:   workload.UniformPriority,
+		NewContract: func(int) contract.Contract {
+			return contract.C2()
+		},
+	})
+	return w
+}
+
+func testData(t *testing.T, n, dims int, seed int64) (*tuple.Relation, *tuple.Relation, []*partition.Cell, []*partition.Cell) {
+	t.Helper()
+	r, tt, err := datagen.Pair(n, dims, datagen.Independent, []float64{0.05}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := partition.Partition(r, partition.DefaultOptions(n, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := partition.Partition(tt, partition.DefaultOptions(n, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, tt, rc, tc
+}
+
+func TestBuildSpaceRQLMatchesBruteForce(t *testing.T) {
+	w := testWorkload(4, 3)
+	_, _, rc, tc := testData(t, 200, 3, 1)
+	s, err := BuildSpace(w, rc, tc, Options{GridResolution: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Regions must exist exactly for cell pairs with a shared join key
+	// (all queries share JC0 in the benchmark workload), minus coarse-
+	// skyline prunes — so every region's pair must share a key, and every
+	// sharing pair must either appear or have been pruned for all queries.
+	type pair struct{ a, b int }
+	present := map[pair]*Region{}
+	for _, reg := range s.Regions {
+		present[pair{reg.RCell.ID, reg.TCell.ID}] = reg
+	}
+	jc := w.JoinConds[0]
+	for _, a := range rc {
+		for _, b := range tc {
+			shares := a.Sigs[jc.LeftKey].Intersects(b.Sigs[jc.RightKey], nil)
+			reg := present[pair{a.ID, b.ID}]
+			if reg != nil && !shares {
+				t.Fatalf("region %v exists for non-joining cell pair", reg)
+			}
+			if reg != nil && reg.RQL == 0 {
+				t.Fatalf("region %v has empty lineage", reg)
+			}
+		}
+	}
+}
+
+// TestRegionBoundsContainJoinOutputs: every actual join result of a
+// region's cell pair must fall inside the region's output box.
+func TestRegionBoundsContainJoinOutputs(t *testing.T) {
+	w := testWorkload(4, 3)
+	_, _, rc, tc := testData(t, 200, 3, 2)
+	s, err := BuildSpace(w, rc, tc, Options{GridResolution: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reg := range s.Regions {
+		results := join.NestedLoop(w.JoinConds[0], w.OutDims, reg.RCell.Tuples, reg.TCell.Tuples, nil)
+		for _, res := range results {
+			for k := range res.Out {
+				if res.Out[k] < reg.Lo[k]-1e-9 || res.Out[k] > reg.Hi[k]+1e-9 {
+					t.Fatalf("output %v outside region box [%v, %v]", res.Out, reg.Lo, reg.Hi)
+				}
+			}
+		}
+	}
+}
+
+// TestCoarsePruneSound: a region pruned for a query must contain no tuple
+// of that query's ground-truth skyline.
+func TestCoarsePruneSound(t *testing.T) {
+	w := testWorkload(4, 3)
+	r, tt, rc, tc := testData(t, 250, 3, 3)
+	s, err := BuildSpace(w, rc, tc, Options{GridResolution: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth per query over the full join.
+	rs := make([]*tuple.Tuple, r.Len())
+	for i := range rs {
+		rs[i] = r.At(i)
+	}
+	ts := make([]*tuple.Tuple, tt.Len())
+	for i := range ts {
+		ts[i] = tt.At(i)
+	}
+	all := join.NestedLoop(w.JoinConds[0], w.OutDims, rs, ts, nil)
+	for qi, q := range w.Queries {
+		var sky []join.Result
+		for i, a := range all {
+			dominated := false
+			for j, b := range all {
+				if i != j && preference.DominatesIn(q.Pref, b.Out, a.Out) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				sky = append(sky, a)
+			}
+		}
+		// Map each skyline result to its region; the region must be alive
+		// for qi (it might have been pruned only for other queries).
+		for _, res := range sky {
+			found := false
+			for _, reg := range s.Regions {
+				if containsTuple(reg.RCell, res.RID) && containsTuple(reg.TCell, res.TID) && reg.Alive.Has(qi) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("query %d skyline result R%d,T%d lost to coarse pruning", qi, res.RID, res.TID)
+			}
+		}
+	}
+}
+
+func containsTuple(c *partition.Cell, id int) bool {
+	for _, tu := range c.Tuples {
+		if tu.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRegionDominancePredicates(t *testing.T) {
+	v := preference.NewSubspace(0, 1)
+	a := &Region{Lo: []float64{0, 0}, Hi: []float64{1, 1}}
+	b := &Region{Lo: []float64{2, 2}, Hi: []float64{3, 3}}
+	c := &Region{Lo: []float64{0.5, 0.5}, Hi: []float64{2.5, 2.5}}
+	if !a.FullyDominatesIn(v, b) {
+		t.Error("a should fully dominate b")
+	}
+	if b.FullyDominatesIn(v, a) {
+		t.Error("b must not dominate a")
+	}
+	if a.FullyDominatesIn(v, c) {
+		t.Error("overlapping boxes cannot be fully dominated")
+	}
+	if !a.PartiallyDominatesIn(v, c) {
+		t.Error("a should partially dominate c")
+	}
+	if a.PartiallyDominatesIn(v, b) {
+		t.Error("full dominance must be excluded from partial")
+	}
+	if !a.BestCornerDominates(v, c) {
+		t.Error("a's best corner dominates c's")
+	}
+	if c.BestCornerDominates(v, a) {
+		t.Error("c's best corner must not dominate a's")
+	}
+}
+
+func TestRegionDominanceEqualBoundary(t *testing.T) {
+	v := preference.NewSubspace(0, 1)
+	a := &Region{Lo: []float64{0, 0}, Hi: []float64{1, 1}}
+	b := &Region{Lo: []float64{1, 1}, Hi: []float64{2, 2}}
+	// Touching corners: weak dominance everywhere but no strict dimension
+	// on the shared corner → still dominates (strict via interior).
+	if a.FullyDominatesIn(v, b) {
+		t.Error("u_a == l_b with no strict dimension must not fully dominate")
+	}
+	c := &Region{Lo: []float64{1, 2}, Hi: []float64{2, 3}}
+	if !a.FullyDominatesIn(v, c) {
+		t.Error("u_a ⪯ l_c with one strict dimension should dominate")
+	}
+}
+
+func TestDomMasksConsistentWithPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		mk := func() *Region {
+			lo := []float64{float64(rng.Intn(6)), float64(rng.Intn(6)), float64(rng.Intn(6))}
+			hi := []float64{lo[0] + float64(rng.Intn(4)), lo[1] + float64(rng.Intn(4)), lo[2] + float64(rng.Intn(4))}
+			return &Region{Lo: lo, Hi: hi}
+		}
+		a, b := mk(), mk()
+		fullWeak, fullStrict, bestWeak, bestStrict := DomMasks(a, b)
+		subs := []preference.Subspace{
+			preference.NewSubspace(0, 1),
+			preference.NewSubspace(1, 2),
+			preference.NewSubspace(0, 1, 2),
+		}
+		for _, v := range subs {
+			pm := v.Mask()
+			wantFull := a.FullyDominatesIn(v, b)
+			gotFull := pm&fullWeak == pm && pm&fullStrict != 0
+			if wantFull != gotFull {
+				t.Fatalf("full dominance mismatch: %v vs %v in %v", a, b, v)
+			}
+			wantBest := a.BestCornerDominates(v, b)
+			gotBest := pm&bestWeak == pm && pm&bestStrict != 0
+			if wantBest != gotBest {
+				t.Fatalf("best-corner mismatch: %v vs %v in %v", a, b, v)
+			}
+		}
+	}
+}
+
+func TestGridRoundtrip(t *testing.T) {
+	w := testWorkload(3, 3)
+	_, _, rc, tc := testData(t, 150, 3, 5)
+	s, err := BuildSpace(w, rc, tc, Options{GridResolution: 32}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		pt := []float64{rng.Float64()*150 + 10, rng.Float64()*150 + 10, rng.Float64()*150 + 10}
+		idx := s.CellIndex(pt)
+		lo, hi := s.CellBounds(idx)
+		for k := range pt {
+			if pt[k] < lo[k]-1e-9 || pt[k] > hi[k]+1e-9 {
+				t.Fatalf("point %v outside its own cell [%v, %v]", pt, lo, hi)
+			}
+		}
+	}
+}
+
+func TestCellCountPositive(t *testing.T) {
+	w := testWorkload(3, 3)
+	_, _, rc, tc := testData(t, 150, 3, 7)
+	s, err := BuildSpace(w, rc, tc, Options{GridResolution: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := preference.NewSubspace(0, 1)
+	for _, reg := range s.Regions {
+		if n := s.CellCount(reg, v); n < 1 {
+			t.Fatalf("region %v has cell count %d", reg, n)
+		}
+	}
+}
+
+func TestDominatedFractionRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	v := preference.NewSubspace(0, 1)
+	for i := 0; i < 500; i++ {
+		mk := func() *Region {
+			lo := []float64{rng.Float64() * 10, rng.Float64() * 10}
+			hi := []float64{lo[0] + rng.Float64()*10, lo[1] + rng.Float64()*10}
+			return &Region{Lo: lo, Hi: hi}
+		}
+		r, o := mk(), mk()
+		f := DominatedFraction(v, r, o)
+		if f < 0 || f > 1 {
+			t.Fatalf("fraction %g outside [0,1]", f)
+		}
+		// Full dominance means the whole box is covered.
+		if o.FullyDominatesIn(v, r) && f != 1 {
+			t.Fatalf("fully dominated region has fraction %g", f)
+		}
+	}
+}
+
+func TestDominatedFractionDegenerate(t *testing.T) {
+	v := preference.NewSubspace(0, 1)
+	r := &Region{Lo: []float64{5, 5}, Hi: []float64{5, 5}} // a point
+	better := &Region{Lo: []float64{1, 1}, Hi: []float64{2, 2}}
+	worse := &Region{Lo: []float64{7, 7}, Hi: []float64{9, 9}}
+	if f := DominatedFraction(v, r, better); f != 1 {
+		t.Fatalf("point region below o.Lo: fraction %g", f)
+	}
+	if f := DominatedFraction(v, r, worse); f != 0 {
+		t.Fatalf("point region above o.Lo: fraction %g", f)
+	}
+}
+
+func TestBuildSpaceCounting(t *testing.T) {
+	w := testWorkload(3, 3)
+	_, _, rc, tc := testData(t, 150, 3, 9)
+	clock := metrics.NewClock()
+	s, err := BuildSpace(w, rc, tc, Options{GridResolution: 16}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := clock.Counters()
+	if c.CellOps == 0 {
+		t.Error("coarse join performed no counted cell operations")
+	}
+	total := len(s.Regions) + int(c.RegionsPruned)
+	if total != len(rc)*len(tc) {
+		t.Errorf("regions(%d) + pruned(%d) != cell pairs(%d)", len(s.Regions), c.RegionsPruned, len(rc)*len(tc))
+	}
+}
+
+func TestBuildSpaceValidatesWorkload(t *testing.T) {
+	w := &workload.Workload{} // invalid: no queries
+	if _, err := BuildSpace(w, nil, nil, Options{}, nil); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestEmptySpaceGrid(t *testing.T) {
+	w := testWorkload(3, 3)
+	s, err := BuildSpace(w, nil, nil, Options{GridResolution: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Regions) != 0 {
+		t.Fatalf("no cells but %d regions", len(s.Regions))
+	}
+	// Grid must still be usable.
+	idx := s.CellIndex([]float64{1, 2, 3})
+	if len(idx) != 3 {
+		t.Fatalf("CellIndex on empty space = %v", idx)
+	}
+}
+
+func TestRegionIDsSequentialAfterPrune(t *testing.T) {
+	w := testWorkload(4, 3)
+	_, _, rc, tc := testData(t, 200, 3, 10)
+	s, err := BuildSpace(w, rc, tc, Options{GridResolution: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, reg := range s.Regions {
+		if reg.ID != i {
+			t.Fatalf("region at index %d has ID %d", i, reg.ID)
+		}
+	}
+}
+
+// TestPaperExample16 checks the region dominance relations of the paper's
+// Example 16 over its three output regions (dimensions d1..d4 are indices
+// 0..3, min preferred):
+//
+//	R1[(6,8,8,4) (8,10,10,6)]  R2[(8,6,6,5) (10,8,8,7)]  R3[(7,5,4,1) (9,7,6,4)]
+func TestPaperExample16(t *testing.T) {
+	r1 := &Region{Lo: []float64{6, 8, 8, 4}, Hi: []float64{8, 10, 10, 6}}
+	r2 := &Region{Lo: []float64{8, 6, 6, 5}, Hi: []float64{10, 8, 8, 7}}
+	r3 := &Region{Lo: []float64{7, 5, 4, 1}, Hi: []float64{9, 7, 6, 4}}
+	all := []*Region{r1, r2, r3}
+
+	nonDominated := func(v preference.Subspace, r *Region) bool {
+		for _, o := range all {
+			if o != r && o.FullyDominatesIn(v, r) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Level 0: R1 belongs to SKY_{d1}; R3 to SKY_{d2}, SKY_{d3}, SKY_{d4}.
+	if !nonDominated(preference.NewSubspace(0), r1) {
+		t.Error("R1 should be non-dominated in {d1}")
+	}
+	for _, k := range []int{1, 2, 3} {
+		if !nonDominated(preference.NewSubspace(k), r3) {
+			t.Errorf("R3 should be non-dominated in {d%d}", k+1)
+		}
+	}
+	// Level 1: SKY_{d1,d2} contains R1 and R3 (Theorem 1 lifts their
+	// level-0 membership).
+	v12 := preference.NewSubspace(0, 1)
+	if !nonDominated(v12, r1) || !nonDominated(v12, r3) {
+		t.Error("R1 and R3 should be non-dominated in {d1,d2}")
+	}
+	// End state of the example: SKY_{d2,d3} = {R2, R3} — R1 is fully
+	// dominated there by R3 (u3=(7,6) ≺ l1=(8,8)).
+	v23 := preference.NewSubspace(1, 2)
+	if !r3.FullyDominatesIn(v23, r1) {
+		t.Error("R3 should fully dominate R1 in {d2,d3}")
+	}
+	if !nonDominated(v23, r2) || !nonDominated(v23, r3) {
+		t.Error("SKY_{d2,d3} should retain R2 and R3")
+	}
+}
+
+// TestPaperExample17DependencyDirection mirrors Figure 7 / Example 17:
+// a region whose cells can completely dominate another region's cells must
+// precede it — best-corner dominance gives the edge direction R2 → R1.
+func TestPaperExample17DependencyDirection(t *testing.T) {
+	// R2's best cells around (3,5); R1 lives up at (5,8)+.
+	r2 := &Region{Lo: []float64{3, 5}, Hi: []float64{6, 8}}
+	r1 := &Region{Lo: []float64{5, 8}, Hi: []float64{7, 11}}
+	v := preference.NewSubspace(0, 1)
+	if !r2.BestCornerDominates(v, r1) {
+		t.Error("R2's best corner should dominate R1's (edge R2→R1)")
+	}
+	if r1.BestCornerDominates(v, r2) {
+		t.Error("no reverse edge R1→R2")
+	}
+	if !r2.PartiallyDominatesIn(v, r1) && !r2.FullyDominatesIn(v, r1) {
+		t.Error("R2 should at least partially dominate R1")
+	}
+}
+
+// TestDomMasksQuick is the testing/quick analogue of the mask-consistency
+// test: for arbitrary small-integer boxes, the per-pair masks must agree
+// with the direct predicates on every subspace of the 3-d lattice.
+func TestDomMasksQuick(t *testing.T) {
+	check := func(raw [12]uint8) bool {
+		mk := func(off int) *Region {
+			lo := []float64{float64(raw[off] % 8), float64(raw[off+1] % 8), float64(raw[off+2] % 8)}
+			hi := []float64{lo[0] + float64(raw[off+3]%4), lo[1] + float64(raw[off+4]%4), lo[2] + float64(raw[off+5]%4)}
+			return &Region{Lo: lo, Hi: hi}
+		}
+		a, b := mk(0), mk(6)
+		fullWeak, fullStrict, bestWeak, bestStrict := DomMasks(a, b)
+		for m := uint64(1); m < 8; m++ {
+			v := preference.SubspaceFromMask(m)
+			if (m&fullWeak == m && m&fullStrict != 0) != a.FullyDominatesIn(v, b) {
+				return false
+			}
+			if (m&bestWeak == m && m&bestStrict != 0) != a.BestCornerDominates(v, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFullDominanceTransitiveQuick: full region dominance within a fixed
+// subspace must be transitive — the property coarsePrune's exactness rests
+// on.
+func TestFullDominanceTransitiveQuick(t *testing.T) {
+	v := preference.NewSubspace(0, 1)
+	check := func(raw [12]uint8) bool {
+		mk := func(off int) *Region {
+			lo := []float64{float64(raw[off] % 6), float64(raw[off+1] % 6)}
+			hi := []float64{lo[0] + float64(raw[off+2]%3), lo[1] + float64(raw[off+3]%3)}
+			return &Region{Lo: lo, Hi: hi}
+		}
+		a, b, c := mk(0), mk(4), mk(8)
+		if a.FullyDominatesIn(v, b) && b.FullyDominatesIn(v, c) && !a.FullyDominatesIn(v, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

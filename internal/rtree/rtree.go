@@ -1,0 +1,247 @@
+// Package rtree implements a d-dimensional R-tree bulk-loaded with the
+// Sort-Tile-Recursive (STR) algorithm. It is the index substrate for the
+// index-based skyline algorithms the paper discusses in §8 (Branch-and-
+// Bound Skyline over an R-tree, Papadias et al. SIGMOD 2003).
+package rtree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Item is one indexed point with an opaque payload.
+type Item struct {
+	Point   []float64
+	Payload int
+}
+
+// Node is an R-tree node: either a leaf holding items or an internal node
+// holding child nodes; MBR is the minimum bounding rectangle of everything
+// below it.
+type Node struct {
+	Lo, Hi   []float64
+	Items    []Item  // leaf entries (nil for internal nodes)
+	Children []*Node // internal entries (nil for leaves)
+}
+
+// IsLeaf reports whether the node holds items directly.
+func (n *Node) IsLeaf() bool { return n.Children == nil }
+
+// MinSum returns the sum of the node's lower bounds over the given
+// dimension indices — the "mindist" key of branch-and-bound traversals
+// (for a point entry this is the point's coordinate sum).
+func (n *Node) MinSum(dims []int) float64 {
+	s := 0.0
+	for _, k := range dims {
+		s += n.Lo[k]
+	}
+	return s
+}
+
+// Tree is an immutable, bulk-loaded R-tree.
+type Tree struct {
+	root *Node
+	dims int
+	size int
+	fan  int
+}
+
+// DefaultFanout is the default maximum entries per node.
+const DefaultFanout = 16
+
+// Bulk builds a tree over the items with the STR algorithm. fanout ≤ 0
+// selects DefaultFanout. An empty item set yields an empty tree.
+func Bulk(items []Item, fanout int) (*Tree, error) {
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	if fanout < 2 {
+		return nil, fmt.Errorf("rtree: fanout must be ≥ 2, got %d", fanout)
+	}
+	t := &Tree{fan: fanout, size: len(items)}
+	if len(items) == 0 {
+		return t, nil
+	}
+	t.dims = len(items[0].Point)
+	for _, it := range items {
+		if len(it.Point) != t.dims {
+			return nil, fmt.Errorf("rtree: mixed dimensionality: %d vs %d", len(it.Point), t.dims)
+		}
+	}
+
+	// STR leaf construction: recursively tile by one dimension at a time.
+	leafItems := strTile(append([]Item(nil), items...), t.dims, 0, fanout)
+	level := make([]*Node, len(leafItems))
+	for i, group := range leafItems {
+		level[i] = leafNode(group, t.dims)
+	}
+	// Pack upward until a single root remains.
+	for len(level) > 1 {
+		level = packLevel(level, t.dims, fanout)
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+// strTile recursively partitions items into groups of ≤ fanout using the
+// sort-tile-recursive strategy starting at dimension dim.
+func strTile(items []Item, dims, dim, fanout int) [][]Item {
+	if len(items) <= fanout {
+		return [][]Item{items}
+	}
+	if dim >= dims {
+		// All dimensions consumed: chop sequentially.
+		var out [][]Item
+		for start := 0; start < len(items); start += fanout {
+			end := start + fanout
+			if end > len(items) {
+				end = len(items)
+			}
+			out = append(out, items[start:end])
+		}
+		return out
+	}
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].Point[dim] != items[j].Point[dim] {
+			return items[i].Point[dim] < items[j].Point[dim]
+		}
+		return items[i].Payload < items[j].Payload
+	})
+	// Number of leaves needed and slabs along this dimension.
+	leaves := int(math.Ceil(float64(len(items)) / float64(fanout)))
+	slabs := int(math.Ceil(math.Pow(float64(leaves), 1/float64(dims-dim))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	per := int(math.Ceil(float64(len(items)) / float64(slabs)))
+	var out [][]Item
+	for start := 0; start < len(items); start += per {
+		end := start + per
+		if end > len(items) {
+			end = len(items)
+		}
+		out = append(out, strTile(items[start:end], dims, dim+1, fanout)...)
+	}
+	return out
+}
+
+func leafNode(items []Item, dims int) *Node {
+	n := &Node{Items: items}
+	n.Lo = append([]float64(nil), items[0].Point...)
+	n.Hi = append([]float64(nil), items[0].Point...)
+	for _, it := range items[1:] {
+		for k := 0; k < dims; k++ {
+			if it.Point[k] < n.Lo[k] {
+				n.Lo[k] = it.Point[k]
+			}
+			if it.Point[k] > n.Hi[k] {
+				n.Hi[k] = it.Point[k]
+			}
+		}
+	}
+	return n
+}
+
+// packLevel groups nodes of one level into parents of ≤ fanout children,
+// ordered by the center of their MBRs along a space-filling-ish sort (sum
+// of centers), which keeps parents spatially tight enough for pruning.
+func packLevel(level []*Node, dims, fanout int) []*Node {
+	sort.SliceStable(level, func(i, j int) bool {
+		si, sj := 0.0, 0.0
+		for k := 0; k < dims; k++ {
+			si += level[i].Lo[k] + level[i].Hi[k]
+			sj += level[j].Lo[k] + level[j].Hi[k]
+		}
+		return si < sj
+	})
+	var out []*Node
+	for start := 0; start < len(level); start += fanout {
+		end := start + fanout
+		if end > len(level) {
+			end = len(level)
+		}
+		kids := level[start:end]
+		p := &Node{Children: append([]*Node(nil), kids...)}
+		p.Lo = append([]float64(nil), kids[0].Lo...)
+		p.Hi = append([]float64(nil), kids[0].Hi...)
+		for _, c := range kids[1:] {
+			for k := 0; k < dims; k++ {
+				if c.Lo[k] < p.Lo[k] {
+					p.Lo[k] = c.Lo[k]
+				}
+				if c.Hi[k] > p.Hi[k] {
+					p.Hi[k] = c.Hi[k]
+				}
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Root returns the root node, or nil for an empty tree.
+func (t *Tree) Root() *Node { return t.root }
+
+// Len returns the number of indexed items.
+func (t *Tree) Len() int { return t.size }
+
+// Dims returns the dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// Height returns the tree height (0 for an empty tree, 1 for a single
+// leaf).
+func (t *Tree) Height() int {
+	h, n := 0, t.root
+	for n != nil {
+		h++
+		if n.IsLeaf() {
+			break
+		}
+		n = n.Children[0]
+	}
+	return h
+}
+
+// Walk visits every node depth-first; fn returning false prunes the
+// subtree.
+func (t *Tree) Walk(fn func(*Node) bool) {
+	var rec func(*Node)
+	rec = func(n *Node) {
+		if n == nil || !fn(n) {
+			return
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.root)
+}
+
+// RangeQuery returns the payloads of all items inside the axis-aligned box
+// [lo, hi] (inclusive).
+func (t *Tree) RangeQuery(lo, hi []float64) []int {
+	var out []int
+	t.Walk(func(n *Node) bool {
+		for k := 0; k < t.dims; k++ {
+			if n.Hi[k] < lo[k] || n.Lo[k] > hi[k] {
+				return false // disjoint: prune
+			}
+		}
+		for _, it := range n.Items {
+			inside := true
+			for k := 0; k < t.dims; k++ {
+				if it.Point[k] < lo[k] || it.Point[k] > hi[k] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				out = append(out, it.Payload)
+			}
+		}
+		return true
+	})
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,212 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randItems(rng *rand.Rand, n, d int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		p := make([]float64, d)
+		for k := range p {
+			p[k] = rng.Float64() * 100
+		}
+		items[i] = Item{Point: p, Payload: i}
+	}
+	return items
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, err := Bulk(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Root() != nil || tr.Height() != 0 {
+		t.Fatalf("empty tree: len=%d root=%v h=%d", tr.Len(), tr.Root(), tr.Height())
+	}
+	if got := tr.RangeQuery([]float64{0}, []float64{1}); len(got) != 0 {
+		t.Fatalf("range on empty tree: %v", got)
+	}
+}
+
+func TestBulkRejects(t *testing.T) {
+	if _, err := Bulk(nil, 1); err == nil {
+		t.Error("fanout 1 accepted")
+	}
+	mixed := []Item{{Point: []float64{1, 2}}, {Point: []float64{1}}}
+	if _, err := Bulk(mixed, 0); err == nil {
+		t.Error("mixed dimensionality accepted")
+	}
+}
+
+func TestAllItemsReachable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 5, 16, 17, 100, 1000} {
+		items := randItems(rng, n, 3)
+		tr, err := Bulk(items, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		var seen []int
+		tr.Walk(func(nd *Node) bool {
+			for _, it := range nd.Items {
+				seen = append(seen, it.Payload)
+			}
+			return true
+		})
+		sort.Ints(seen)
+		if len(seen) != n {
+			t.Fatalf("n=%d: %d items reachable", n, len(seen))
+		}
+		for i, p := range seen {
+			if p != i {
+				t.Fatalf("n=%d: payload %d missing", n, i)
+			}
+		}
+	}
+}
+
+func TestMBRsContainContents(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	items := randItems(rng, 500, 3)
+	tr, err := Bulk(items, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Walk(func(n *Node) bool {
+		for _, it := range n.Items {
+			for k := range it.Point {
+				if it.Point[k] < n.Lo[k] || it.Point[k] > n.Hi[k] {
+					t.Fatalf("item %d outside leaf MBR", it.Payload)
+				}
+			}
+		}
+		for _, c := range n.Children {
+			for k := range c.Lo {
+				if c.Lo[k] < n.Lo[k] || c.Hi[k] > n.Hi[k] {
+					t.Fatal("child MBR outside parent MBR")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func TestFanoutRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randItems(rng, 700, 2)
+	const fan = 8
+	tr, err := Bulk(items, fan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Walk(func(n *Node) bool {
+		if len(n.Items) > fan {
+			t.Fatalf("leaf holds %d items (fanout %d)", len(n.Items), fan)
+		}
+		if len(n.Children) > fan {
+			t.Fatalf("node holds %d children (fanout %d)", len(n.Children), fan)
+		}
+		return true
+	})
+	if h := tr.Height(); h < 2 {
+		t.Fatalf("700 items, fanout 8: height %d", h)
+	}
+}
+
+func TestRangeQueryBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	items := randItems(rng, 400, 3)
+	tr, err := Bulk(items, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		lo := make([]float64, 3)
+		hi := make([]float64, 3)
+		for k := range lo {
+			a, b := rng.Float64()*100, rng.Float64()*100
+			if a > b {
+				a, b = b, a
+			}
+			lo[k], hi[k] = a, b
+		}
+		var want []int
+		for _, it := range items {
+			inside := true
+			for k := range lo {
+				if it.Point[k] < lo[k] || it.Point[k] > hi[k] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				want = append(want, it.Payload)
+			}
+		}
+		sort.Ints(want)
+		got := tr.RangeQuery(lo, hi)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestMinSum(t *testing.T) {
+	n := &Node{Lo: []float64{1, 2, 3}, Hi: []float64{4, 5, 6}}
+	if got := n.MinSum([]int{0, 2}); got != 4 {
+		t.Fatalf("MinSum = %g", got)
+	}
+}
+
+func TestWalkPrunes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randItems(rng, 300, 2)
+	tr, _ := Bulk(items, 8)
+	visited := 0
+	tr.Walk(func(n *Node) bool {
+		visited++
+		return false // prune immediately: only the root is visited
+	})
+	if visited != 1 {
+		t.Fatalf("visited %d nodes after pruning at root", visited)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	items := randItems(rng, 257, 3)
+	a, _ := Bulk(items, 8)
+	b, _ := Bulk(items, 8)
+	var la, lb []int
+	a.Walk(func(n *Node) bool {
+		for _, it := range n.Items {
+			la = append(la, it.Payload)
+		}
+		return true
+	})
+	b.Walk(func(n *Node) bool {
+		for _, it := range n.Items {
+			lb = append(lb, it.Payload)
+		}
+		return true
+	})
+	if len(la) != len(lb) {
+		t.Fatal("different structure")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("nondeterministic build")
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package run defines the execution report shared by CAQE and every
+// baseline strategy: per-query result emissions with virtual timestamps,
+// contract trackers, and operation counters. Comparing strategies on the
+// paper's metrics (satisfaction, join results, skyline comparisons,
+// execution time) reduces to comparing Reports.
+package run
+
+import (
+	"fmt"
+	"sort"
+
+	"caqe/internal/contract"
+	"caqe/internal/metrics"
+	"caqe/internal/workload"
+)
+
+// Emission is one result tuple delivered to one query.
+type Emission struct {
+	Query    int
+	RID, TID int       // originating tuple IDs in R and T
+	Out      []float64 // projected output point
+	Time     float64   // virtual seconds at delivery
+}
+
+// Report is the outcome of executing a workload under one strategy.
+type Report struct {
+	Strategy string
+	PerQuery [][]Emission       // emissions per query, in delivery order
+	Trackers []contract.Tracker // finalized contract trackers per query
+	Counters metrics.Counters
+	EndTime  float64 // virtual seconds when the workload completed
+
+	// OnEmit, when set before execution, is invoked synchronously for every
+	// delivered result — the progressive consumption hook for applications
+	// that act on results as they become final.
+	OnEmit func(Emission)
+}
+
+// NewReport allocates a report for the given workload, creating one
+// contract tracker per query. estTotals supplies N per query for
+// cardinality-based contracts (Table 2's "N is the total of output tuples
+// for query Q"); pass nil if unknown.
+func NewReport(strategy string, w *workload.Workload, estTotals []int) *Report {
+	r := &Report{
+		Strategy: strategy,
+		PerQuery: make([][]Emission, len(w.Queries)),
+		Trackers: make([]contract.Tracker, len(w.Queries)),
+	}
+	for i, q := range w.Queries {
+		est := 0
+		if estTotals != nil {
+			est = estTotals[i]
+		}
+		r.Trackers[i] = q.Contract.NewTracker(est)
+	}
+	return r
+}
+
+// Emit records a delivery and feeds the query's contract tracker.
+func (r *Report) Emit(e Emission) {
+	r.PerQuery[e.Query] = append(r.PerQuery[e.Query], e)
+	r.Trackers[e.Query].Observe(e.Time)
+	if r.OnEmit != nil {
+		r.OnEmit(e)
+	}
+}
+
+// Finish finalizes every tracker at the given end time (virtual seconds)
+// and records the counters.
+func (r *Report) Finish(end float64, c metrics.Counters) {
+	r.EndTime = end
+	r.Counters = c
+	for _, t := range r.Trackers {
+		t.Finalize(end)
+	}
+}
+
+// Satisfaction returns the per-query average satisfaction (mean per-tuple
+// utility, clamped to [0,1]).
+func (r *Report) Satisfaction() []float64 {
+	out := make([]float64, len(r.Trackers))
+	for i, t := range r.Trackers {
+		out[i] = contract.AvgSatisfaction(t)
+	}
+	return out
+}
+
+// AvgSatisfaction returns the workload-level average satisfaction — the
+// quantity plotted in Figures 9 and 11.
+func (r *Report) AvgSatisfaction() float64 {
+	s := r.Satisfaction()
+	if len(s) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}
+
+// WeightedSatisfaction returns the priority-weighted workload satisfaction.
+func (r *Report) WeightedSatisfaction(w *workload.Workload) float64 {
+	s := r.Satisfaction()
+	num, den := 0.0, 0.0
+	for i, v := range s {
+		num += w.Queries[i].Priority * v
+		den += w.Queries[i].Priority
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// TotalPScore returns Σ_i pScore(Q_i) — the optimization objective of
+// Definition 5.
+func (r *Report) TotalPScore() float64 {
+	sum := 0.0
+	for _, t := range r.Trackers {
+		sum += t.PScore()
+	}
+	return sum
+}
+
+// ResultKey identifies one join result for set comparison across strategies.
+type ResultKey struct{ RID, TID int }
+
+// ResultSet returns the final result set of one query as a sorted key list.
+func (r *Report) ResultSet(qi int) []ResultKey {
+	keys := make([]ResultKey, 0, len(r.PerQuery[qi]))
+	for _, e := range r.PerQuery[qi] {
+		keys = append(keys, ResultKey{e.RID, e.TID})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].RID != keys[j].RID {
+			return keys[i].RID < keys[j].RID
+		}
+		return keys[i].TID < keys[j].TID
+	})
+	return keys
+}
+
+// SameResults reports whether two reports delivered identical result sets
+// for every query, returning a description of the first difference.
+func SameResults(a, b *Report) (bool, string) {
+	if len(a.PerQuery) != len(b.PerQuery) {
+		return false, fmt.Sprintf("query count %d vs %d", len(a.PerQuery), len(b.PerQuery))
+	}
+	for qi := range a.PerQuery {
+		ka, kb := a.ResultSet(qi), b.ResultSet(qi)
+		if len(ka) != len(kb) {
+			return false, fmt.Sprintf("query %d: %s has %d results, %s has %d", qi, a.Strategy, len(ka), b.Strategy, len(kb))
+		}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				return false, fmt.Sprintf("query %d: result %d differs: %v vs %v", qi, i, ka[i], kb[i])
+			}
+		}
+	}
+	return true, ""
+}
+
+// TimelinePoint is one sample of a satisfaction-over-time curve.
+type TimelinePoint struct {
+	Time         float64 // virtual seconds
+	Delivered    int     // results delivered up to Time (all queries)
+	Satisfaction float64 // workload average satisfaction over deliveries so far
+}
+
+// SatisfactionTimeline samples how the workload's average satisfaction and
+// delivered-result count evolve over the run, at `samples` evenly spaced
+// instants from 0 to EndTime. It replays the emissions through fresh
+// trackers, so it is valid only after Finish. Useful for plotting the
+// progressiveness profile the paper's figures summarize into a single
+// number.
+func (r *Report) SatisfactionTimeline(w *workload.Workload, estTotals []int, samples int) []TimelinePoint {
+	if samples < 1 {
+		samples = 1
+	}
+	// Merge all emissions in delivery order.
+	var all []Emission
+	for _, ems := range r.PerQuery {
+		all = append(all, ems...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+
+	out := make([]TimelinePoint, 0, samples)
+	for s := 1; s <= samples; s++ {
+		cut := r.EndTime * float64(s) / float64(samples)
+		trackers := make([]contract.Tracker, len(w.Queries))
+		for qi, q := range w.Queries {
+			est := 0
+			if estTotals != nil {
+				est = estTotals[qi]
+			}
+			trackers[qi] = q.Contract.NewTracker(est)
+		}
+		delivered := 0
+		for _, e := range all {
+			if e.Time > cut {
+				break
+			}
+			trackers[e.Query].Observe(e.Time)
+			delivered++
+		}
+		sum, n := 0.0, 0
+		for _, tr := range trackers {
+			tr.Finalize(cut)
+			sum += contract.AvgSatisfaction(tr)
+			n++
+		}
+		out = append(out, TimelinePoint{Time: cut, Delivered: delivered, Satisfaction: sum / float64(n)})
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package run
+
+import (
+	"testing"
+
+	"caqe/internal/contract"
+	"caqe/internal/join"
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+	"caqe/internal/workload"
+)
+
+func testWorkload() *workload.Workload {
+	return &workload.Workload{
+		JoinConds: []join.EquiJoin{{Name: "JC1", LeftKey: 0, RightKey: 0}},
+		OutDims:   []join.MapFunc{join.Sum("x0", 0), join.Sum("x1", 1)},
+		Queries: []workload.Query{
+			{Name: "Q1", JC: 0, Pref: preference.NewSubspace(0, 1), Priority: 0.9, Contract: contract.C1(10)},
+			{Name: "Q2", JC: 0, Pref: preference.NewSubspace(0), Priority: 0.5, Contract: contract.C2()},
+		},
+	}
+}
+
+func TestEmitFeedsTrackers(t *testing.T) {
+	rep := NewReport("X", testWorkload(), nil)
+	rep.Emit(Emission{Query: 0, RID: 1, TID: 2, Time: 5})
+	rep.Emit(Emission{Query: 0, RID: 3, TID: 4, Time: 50}) // past C1 deadline
+	rep.Emit(Emission{Query: 1, RID: 1, TID: 2, Time: 5})
+	rep.Finish(60, metrics.Counters{JoinResults: 7})
+
+	if len(rep.PerQuery[0]) != 2 || len(rep.PerQuery[1]) != 1 {
+		t.Fatalf("emission counts: %d, %d", len(rep.PerQuery[0]), len(rep.PerQuery[1]))
+	}
+	if rep.Counters.JoinResults != 7 || rep.EndTime != 60 {
+		t.Fatal("Finish did not record counters/end time")
+	}
+	s := rep.Satisfaction()
+	if s[0] != 0.5 {
+		t.Fatalf("query 0 satisfaction = %g, want 0.5", s[0])
+	}
+	if s[1] != 1 {
+		t.Fatalf("query 1 satisfaction = %g, want 1", s[1])
+	}
+	if got := rep.AvgSatisfaction(); got != 0.75 {
+		t.Fatalf("avg = %g", got)
+	}
+}
+
+func TestOnEmitHook(t *testing.T) {
+	rep := NewReport("X", testWorkload(), nil)
+	var seen []Emission
+	rep.OnEmit = func(e Emission) { seen = append(seen, e) }
+	rep.Emit(Emission{Query: 1, RID: 9, TID: 8, Time: 1})
+	if len(seen) != 1 || seen[0].RID != 9 {
+		t.Fatalf("hook saw %v", seen)
+	}
+}
+
+func TestWeightedSatisfaction(t *testing.T) {
+	w := testWorkload()
+	rep := NewReport("X", w, nil)
+	rep.Emit(Emission{Query: 0, Time: 50}) // C1 missed: sat 0
+	rep.Emit(Emission{Query: 1, Time: 5})  // C2 early: sat 1
+	rep.Finish(60, metrics.Counters{})
+	// Weighted: (0.9·0 + 0.5·1)/(1.4) ≈ 0.357 < plain avg 0.5.
+	got := rep.WeightedSatisfaction(w)
+	if got < 0.35 || got > 0.36 {
+		t.Fatalf("weighted satisfaction = %g", got)
+	}
+}
+
+func TestTotalPScore(t *testing.T) {
+	rep := NewReport("X", testWorkload(), nil)
+	rep.Emit(Emission{Query: 0, Time: 5})
+	rep.Emit(Emission{Query: 1, Time: 5})
+	rep.Finish(10, metrics.Counters{})
+	if got := rep.TotalPScore(); got != 2 {
+		t.Fatalf("total pScore = %g", got)
+	}
+}
+
+func TestResultSetSorted(t *testing.T) {
+	rep := NewReport("X", testWorkload(), nil)
+	rep.Emit(Emission{Query: 0, RID: 5, TID: 1})
+	rep.Emit(Emission{Query: 0, RID: 1, TID: 9})
+	rep.Emit(Emission{Query: 0, RID: 1, TID: 2})
+	keys := rep.ResultSet(0)
+	want := []ResultKey{{1, 2}, {1, 9}, {5, 1}}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("ResultSet = %v", keys)
+		}
+	}
+}
+
+func TestSameResults(t *testing.T) {
+	a := NewReport("A", testWorkload(), nil)
+	b := NewReport("B", testWorkload(), nil)
+	a.Emit(Emission{Query: 0, RID: 1, TID: 2, Time: 1})
+	b.Emit(Emission{Query: 0, RID: 1, TID: 2, Time: 99}) // time may differ
+	if ok, diff := SameResults(a, b); !ok {
+		t.Fatalf("equal sets reported different: %s", diff)
+	}
+	b.Emit(Emission{Query: 1, RID: 3, TID: 4})
+	if ok, _ := SameResults(a, b); ok {
+		t.Fatal("different counts reported equal")
+	}
+	c := NewReport("C", testWorkload(), nil)
+	c.Emit(Emission{Query: 0, RID: 1, TID: 3, Time: 1})
+	if ok, _ := SameResults(a, c); ok {
+		t.Fatal("different keys reported equal")
+	}
+}
+
+func TestEstTotalsWiring(t *testing.T) {
+	w := &workload.Workload{
+		JoinConds: []join.EquiJoin{{Name: "JC1"}},
+		OutDims:   []join.MapFunc{join.Sum("x0", 0)},
+		Queries: []workload.Query{
+			{Name: "Q1", Pref: preference.NewSubspace(0), Priority: 0.5, Contract: contract.C4(0.5, 10)},
+		},
+	}
+	rep := NewReport("X", w, []int{2}) // quota: 1 per interval
+	rep.Emit(Emission{Query: 0, Time: 1})
+	rep.Emit(Emission{Query: 0, Time: 15})
+	rep.Finish(20, metrics.Counters{})
+	if got := rep.Satisfaction()[0]; got != 1 {
+		t.Fatalf("satisfaction with wired totals = %g", got)
+	}
+}
+
+func TestAvgSatisfactionEmpty(t *testing.T) {
+	rep := &Report{}
+	if rep.AvgSatisfaction() != 0 {
+		t.Fatal("empty report should average 0")
+	}
+}
+
+func TestSatisfactionTimeline(t *testing.T) {
+	w := testWorkload()
+	rep := NewReport("X", w, nil)
+	rep.Emit(Emission{Query: 0, Time: 2})
+	rep.Emit(Emission{Query: 1, Time: 4})
+	rep.Emit(Emission{Query: 0, Time: 8})
+	rep.Finish(10, metrics.Counters{})
+	tl := rep.SatisfactionTimeline(w, nil, 5)
+	if len(tl) != 5 {
+		t.Fatalf("%d samples", len(tl))
+	}
+	// Delivered counts are non-decreasing and end at the total.
+	last := 0
+	for _, p := range tl {
+		if p.Delivered < last {
+			t.Fatalf("delivered count decreased: %v", tl)
+		}
+		last = p.Delivered
+		if p.Satisfaction < 0 || p.Satisfaction > 1 {
+			t.Fatalf("satisfaction %g outside [0,1]", p.Satisfaction)
+		}
+	}
+	if last != 3 {
+		t.Fatalf("final delivered = %d, want 3", last)
+	}
+	if tl[4].Time != 10 {
+		t.Fatalf("final sample at %g, want 10", tl[4].Time)
+	}
+}
+
+func TestSatisfactionTimelineSingleSample(t *testing.T) {
+	w := testWorkload()
+	rep := NewReport("X", w, nil)
+	rep.Emit(Emission{Query: 0, Time: 1})
+	rep.Finish(2, metrics.Counters{})
+	tl := rep.SatisfactionTimeline(w, nil, 0) // clamped to 1
+	if len(tl) != 1 || tl[0].Delivered != 1 {
+		t.Fatalf("timeline = %v", tl)
+	}
+}

@@ -1,0 +1,214 @@
+package skycube
+
+import (
+	"math/bits"
+	"sort"
+
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+	"caqe/internal/skyline"
+)
+
+// SkycubeResult holds the skylines of every subspace of a full space — the
+// skycube of Yuan et al. [36], which the paper's shared plan prunes into
+// the min-max cuboid. Offered as a library utility (precomputed subspace
+// skylines for workloads whose queries arrive over time) and as an oracle
+// for Theorem 1.
+type SkycubeResult struct {
+	dims preference.Subspace
+	sky  map[uint64][]int // subspace mask -> sorted payloads of its skyline
+}
+
+// ComputeSkycube evaluates the skylines of all 2^d − 1 subspaces of the
+// given full space, sharing work bottom-up through Theorem 1: a point with
+// no *weak* dominator in some child subspace U ⊂ V can have none in V
+// either (⪯_V implies ⪯_U), so such "clean" child survivors enter every
+// parent skyline without a single comparison, and cleanliness itself
+// propagates upward for free. Only the remaining points pay a sum-sorted
+// filter pass per subspace. Ties are handled exactly (the clean flag is
+// computed, not assumed via the DVA property). Dominance comparisons are
+// charged to the clock.
+func ComputeSkycube(dims preference.Subspace, points []skyline.Point, clock *metrics.Clock) *SkycubeResult {
+	res := &SkycubeResult{
+		dims: dims,
+		sky:  make(map[uint64][]int),
+	}
+	if len(dims) == 0 || len(points) == 0 {
+		return res
+	}
+	full := dims.Mask()
+	var masks []uint64
+	for m := full; m != 0; m = (m - 1) & full {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		ci, cj := bits.OnesCount64(masks[i]), bits.OnesCount64(masks[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return masks[i] < masks[j]
+	})
+
+	// clean[mask] marks payload indices with no weak dominator in mask.
+	clean := make(map[uint64][]bool, len(masks))
+
+	count := func(n int64) {
+		if clock != nil && n > 0 {
+			clock.CountSkylineCmp(n)
+		}
+	}
+
+	for _, m := range masks {
+		sub := preference.SubspaceFromMask(m)
+		cl := make([]bool, len(points))
+		inSky := make([]bool, len(points))
+
+		// Guaranteed members: clean in any child subspace.
+		guaranteed := make([]bool, len(points))
+		if bits.OnesCount64(m) > 1 {
+			for _, k := range sub {
+				child := m &^ (1 << uint(k))
+				ccl := clean[child]
+				for i := range points {
+					if ccl[i] {
+						guaranteed[i] = true
+						cl[i] = true
+						inSky[i] = true
+					}
+				}
+			}
+		}
+
+		// Sum-sorted verification for the rest: a weak dominator of p has
+		// subspace sum ≤ sum(p), so only the sorted prefix is scanned.
+		order := make([]int, len(points))
+		sums := make([]float64, len(points))
+		for i, p := range points {
+			order[i] = i
+			s := 0.0
+			for _, k := range sub {
+				s += p.Vals[k]
+			}
+			sums[i] = s
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			if sums[order[a]] != sums[order[b]] {
+				return sums[order[a]] < sums[order[b]]
+			}
+			return order[a] < order[b]
+		})
+		var cmps int64
+		for pos, i := range order {
+			if guaranteed[i] {
+				continue
+			}
+			dominated, weaklyDominated := false, false
+			for _, j := range order[:pos] {
+				// Entries before pos have sum ≤ sum(i) and can weakly
+				// dominate i. Only current skyline members need checking:
+				// any dominator's own dominator is an earlier skyline
+				// member that dominates i transitively.
+				if !inSky[j] {
+					continue
+				}
+				cmps++
+				wWeak, pWeak := true, true
+				for _, k := range sub {
+					if points[j].Vals[k] > points[i].Vals[k] {
+						wWeak = false
+						break
+					} else if points[j].Vals[k] < points[i].Vals[k] {
+						pWeak = false
+					}
+				}
+				if wWeak {
+					weaklyDominated = true
+					if !pWeak {
+						dominated = true
+						break
+					}
+				}
+			}
+			// Equal-sum successors can also tie i exactly; cleanliness
+			// over ties only matters in one direction, and scanning the
+			// prefix (which includes earlier equal sums) plus symmetry of
+			// exact ties keeps the flag conservative: a tie pair marks the
+			// later point, and the earlier point is marked by any exact
+			// duplicate later via the check below.
+			if !dominated {
+				inSky[i] = true
+				cl[i] = !weaklyDominated
+			}
+		}
+		// Exact duplicates: every member of a duplicate group has a weak
+		// dominator (its twin), so none is clean. The prefix scan marks all
+		// but the first occurrence; fix the first by a grouped pass.
+		markDuplicateGroups(sub, points, order, sums, cl)
+		count(cmps)
+
+		clean[m] = cl
+		var sky []int
+		for i := range points {
+			if inSky[i] {
+				sky = append(sky, points[i].Payload)
+			}
+		}
+		sort.Ints(sky)
+		res.sky[m] = sky
+	}
+	return res
+}
+
+// markDuplicateGroups clears the clean flag of every point that has an
+// exact duplicate in the subspace (each twin weakly dominates the other).
+func markDuplicateGroups(sub preference.Subspace, points []skyline.Point, order []int, sums []float64, cl []bool) {
+	for a := 0; a < len(order); {
+		b := a + 1
+		for b < len(order) && sums[order[b]] == sums[order[a]] {
+			b++
+		}
+		if b-a > 1 {
+			group := order[a:b]
+			for x := 0; x < len(group); x++ {
+				for y := x + 1; y < len(group); y++ {
+					equal := true
+					for _, k := range sub {
+						if points[group[x]].Vals[k] != points[group[y]].Vals[k] {
+							equal = false
+							break
+						}
+					}
+					if equal {
+						cl[group[x]] = false
+						cl[group[y]] = false
+					}
+				}
+			}
+		}
+		a = b
+	}
+}
+
+// Skyline returns the sorted payloads of the skyline in the given
+// subspace, or nil if the subspace is not part of the cube's full space.
+func (r *SkycubeResult) Skyline(sub preference.Subspace) []int {
+	if !sub.IsSubsetOf(r.dims) || len(sub) == 0 {
+		return nil
+	}
+	return r.sky[sub.Mask()]
+}
+
+// NumSubspaces returns the number of materialized subspaces (2^d − 1).
+func (r *SkycubeResult) NumSubspaces() int { return len(r.sky) }
+
+// Dims returns the cube's full space.
+func (r *SkycubeResult) Dims() preference.Subspace { return r.dims }
+
+func payloadsOf(pts []skyline.Point) []int {
+	out := make([]int, len(pts))
+	for i, p := range pts {
+		out[i] = p.Payload
+	}
+	sort.Ints(out)
+	return out
+}

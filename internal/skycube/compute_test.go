@@ -1,0 +1,152 @@
+package skycube
+
+import (
+	"math/rand"
+	"testing"
+
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+	"caqe/internal/skyline"
+)
+
+func randSkyPoints(rng *rand.Rand, n, d, domain int) []skyline.Point {
+	pts := make([]skyline.Point, n)
+	for i := range pts {
+		v := make([]float64, d)
+		for k := range v {
+			v[k] = float64(rng.Intn(domain))
+		}
+		pts[i] = skyline.Point{Vals: v, Payload: i}
+	}
+	return pts
+}
+
+// TestComputeSkycubeMatchesNaive verifies every subspace skyline against an
+// independent naive evaluation, on random inputs with plenty of ties.
+func TestComputeSkycubeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		d := 2 + rng.Intn(3)
+		n := 5 + rng.Intn(80)
+		domain := 2 + rng.Intn(10)
+		pts := randSkyPoints(rng, n, d, domain)
+		var dims []int
+		for k := 0; k < d; k++ {
+			dims = append(dims, k)
+		}
+		full := preference.NewSubspace(dims...)
+		cube := ComputeSkycube(full, pts, nil)
+		if cube.NumSubspaces() != (1<<uint(d))-1 {
+			t.Fatalf("trial %d: %d subspaces", trial, cube.NumSubspaces())
+		}
+		mask := full.Mask()
+		for m := mask; m != 0; m = (m - 1) & mask {
+			sub := preference.SubspaceFromMask(m)
+			want := payloadsOf(skyline.Naive(sub, pts, nil))
+			got := cube.Skyline(sub)
+			if len(want) != len(got) {
+				t.Fatalf("trial %d sub %v: got %v want %v", trial, sub, got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("trial %d sub %v: got %v want %v", trial, sub, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestComputeSkycubeSharesWork: on distinct-valued data the bottom-up clean
+// propagation must need fewer comparisons than evaluating every subspace
+// independently with SFS.
+func TestComputeSkycubeSharesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const n, d = 600, 4
+	pts := make([]skyline.Point, n)
+	for i := range pts {
+		v := make([]float64, d)
+		for k := range v {
+			v[k] = rng.Float64() * 100
+		}
+		pts[i] = skyline.Point{Vals: v, Payload: i}
+	}
+	full := preference.NewSubspace(0, 1, 2, 3)
+
+	shared := metrics.NewClock()
+	ComputeSkycube(full, pts, shared)
+
+	indep := metrics.NewClock()
+	mask := full.Mask()
+	for m := mask; m != 0; m = (m - 1) & mask {
+		skyline.SFS(preference.SubspaceFromMask(m), pts, indep)
+	}
+	sc := shared.Counters().SkylineCmps
+	ic := indep.Counters().SkylineCmps
+	if sc >= ic {
+		t.Fatalf("skycube sharing saved nothing: %d vs %d comparisons", sc, ic)
+	}
+	t.Logf("skycube: shared=%d independent=%d (%.1fx)", sc, ic, float64(ic)/float64(sc))
+}
+
+func TestComputeSkycubeTheorem1(t *testing.T) {
+	// Under distinct values (continuous draws), every subspace skyline must
+	// be contained in every superspace skyline.
+	rng := rand.New(rand.NewSource(13))
+	pts := make([]skyline.Point, 200)
+	for i := range pts {
+		pts[i] = skyline.Point{Vals: []float64{rng.Float64(), rng.Float64(), rng.Float64()}, Payload: i}
+	}
+	full := preference.NewSubspace(0, 1, 2)
+	cube := ComputeSkycube(full, pts, nil)
+	subs := []preference.Subspace{
+		preference.NewSubspace(0), preference.NewSubspace(1), preference.NewSubspace(0, 1),
+	}
+	fullSky := map[int]bool{}
+	for _, p := range cube.Skyline(full) {
+		fullSky[p] = true
+	}
+	for _, sub := range subs {
+		for _, p := range cube.Skyline(sub) {
+			if !fullSky[p] {
+				t.Fatalf("subspace %v member %d missing from full-space skyline", sub, p)
+			}
+		}
+	}
+}
+
+func TestComputeSkycubeEdgeCases(t *testing.T) {
+	full := preference.NewSubspace(0, 1)
+	empty := ComputeSkycube(full, nil, nil)
+	if empty.NumSubspaces() != 0 {
+		t.Fatal("empty input materialized subspaces")
+	}
+	cube := ComputeSkycube(full, []skyline.Point{{Vals: []float64{1, 2}, Payload: 5}}, nil)
+	if got := cube.Skyline(full); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("singleton skyline = %v", got)
+	}
+	if got := cube.Skyline(preference.NewSubspace(3)); got != nil {
+		t.Fatalf("out-of-space subspace returned %v", got)
+	}
+	if got := cube.Skyline(preference.NewSubspace()); got != nil {
+		t.Fatalf("empty subspace returned %v", got)
+	}
+	if !cube.Dims().Equal(full) {
+		t.Fatal("Dims mismatch")
+	}
+}
+
+func TestComputeSkycubeAllDuplicates(t *testing.T) {
+	pts := []skyline.Point{
+		{Vals: []float64{3, 3}, Payload: 0},
+		{Vals: []float64{3, 3}, Payload: 1},
+		{Vals: []float64{3, 3}, Payload: 2},
+	}
+	cube := ComputeSkycube(preference.NewSubspace(0, 1), pts, nil)
+	for _, sub := range []preference.Subspace{
+		preference.NewSubspace(0), preference.NewSubspace(1), preference.NewSubspace(0, 1),
+	} {
+		if got := cube.Skyline(sub); len(got) != 3 {
+			t.Fatalf("duplicates: %v in %v", got, sub)
+		}
+	}
+}

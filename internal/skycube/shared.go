@@ -1,0 +1,307 @@
+package skycube
+
+import (
+	"sort"
+
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+)
+
+// SharedSkyline maintains the multi-query skyline state over the min-max
+// cuboid shared plan. Every inserted point carries a *lineage*: the set of
+// queries for which it is a candidate result (derived from the join
+// condition and region that produced it, §6 "cell query-lineage"). A point
+// is inserted into every cuboid node whose QServe set intersects its
+// lineage, in ascending level order.
+//
+// Comparison sharing (§4.1): when two points are both current skyline
+// members of a common *child* subspace U and the protected point's window
+// entry is "clean" there (no compared point even weakly dominates it in U),
+// dominance against it in the parent V ⊇ U is impossible —
+// ¬(w ⪯_U p) ⇒ ∃k ∈ U: w[k] > p[k] ⇒ w ⊀_V p — so the comparison is
+// skipped entirely. Under the DVA property this recovers exactly the
+// paper's claim that comparisons along shared dimensions are performed only
+// once; without DVA (ties present) the clean flag makes the skip
+// conservative and the result provably exact.
+//
+// Eviction is lineage-aware: a dominating point kills a member only for the
+// queries in the dominator's lineage. Correctness across removals follows
+// from the transitivity of strict dominance within a fixed subspace.
+//
+// Payloads must be small non-negative integers (the engine assigns them
+// sequentially); per-node membership is payload-indexed for O(1) access.
+type SharedSkyline struct {
+	cuboid *Cuboid
+	clock  *metrics.Clock
+	nodes  []*sharedNode           // aligned with cuboid.Nodes (ascending level)
+	prefSN []*sharedNode           // query index -> node of its full preference
+	points [][]float64             // payload-indexed coordinates
+	_      [0]func(*SharedSkyline) // incomparable
+}
+
+type sharedEntry struct {
+	payload int
+	vals    []float64
+	sum     float64 // Σ vals over the node's subspace (window sort key)
+	lineage QSet    // immutable: queries this point competes for at this node
+	alive   QSet    // queries for which the point is still a skyline candidate here
+	clean   bool    // no compared point weakly dominates it in this subspace
+}
+
+// sharedNode keeps its window sorted ascending by the monotone coordinate
+// sum: a point can only be weakly dominated by entries with sum ≤ its own
+// and can only dominate entries with sum ≥ its own, so each insert scans a
+// prefix for dominators and a suffix for evictions — the SFS presorting
+// idea applied incrementally inside the shared plan.
+type sharedNode struct {
+	node     *Node
+	sub      preference.Subspace
+	qserve   QSet
+	window   []*sharedEntry
+	members  []*sharedEntry // payload-indexed; nil = not a member
+	children []*sharedNode
+}
+
+func (sn *sharedNode) memberAt(payload int) *sharedEntry {
+	if payload >= len(sn.members) {
+		return nil
+	}
+	return sn.members[payload]
+}
+
+func (sn *sharedNode) setMember(payload int, e *sharedEntry) {
+	for payload >= len(sn.members) {
+		sn.members = append(sn.members, nil)
+	}
+	sn.members[payload] = e
+}
+
+// NewSharedSkyline creates the execution state for a cuboid. The clock may
+// be nil (no accounting).
+func NewSharedSkyline(c *Cuboid, clock *metrics.Clock) *SharedSkyline {
+	s := &SharedSkyline{
+		cuboid: c,
+		clock:  clock,
+		prefSN: make([]*sharedNode, c.NumQueries()),
+	}
+	byNode := make(map[*Node]*sharedNode, len(c.Nodes))
+	for _, n := range c.Nodes {
+		sn := &sharedNode{node: n, sub: n.Sub, qserve: n.QServe}
+		s.nodes = append(s.nodes, sn)
+		byNode[n] = sn
+	}
+	for _, sn := range s.nodes {
+		for _, ch := range sn.node.Children {
+			sn.children = append(sn.children, byNode[ch])
+		}
+	}
+	for i := 0; i < c.NumQueries(); i++ {
+		s.prefSN[i] = byNode[c.PreferenceNode(i)]
+	}
+	if clock != nil {
+		clock.CountCuboidSubspace(int64(len(s.nodes)))
+	}
+	return s
+}
+
+// Cuboid returns the plan this state executes.
+func (s *SharedSkyline) Cuboid() *Cuboid { return s.cuboid }
+
+// Insert adds a point with the given unique payload identifier and query
+// lineage. It returns the set of queries for which the point is currently a
+// skyline candidate (zero if immediately dominated everywhere).
+func (s *SharedSkyline) Insert(payload int, vals []float64, lineage QSet) QSet {
+	for payload >= len(s.points) {
+		s.points = append(s.points, nil)
+	}
+	s.points[payload] = vals
+	for _, sn := range s.nodes {
+		relevant := sn.qserve & lineage
+		if relevant == 0 {
+			continue
+		}
+		s.insertAt(sn, payload, vals, relevant)
+	}
+	// Candidacy is read from the full-preference node of each query.
+	var out QSet
+	for i := 0; i < s.cuboid.NumQueries(); i++ {
+		if !lineage.Has(i) {
+			continue
+		}
+		if e := s.prefSN[i].memberAt(payload); e != nil && e.alive.Has(i) {
+			out = out.Add(i)
+		}
+	}
+	return out
+}
+
+// insertAt performs the windowed insert of one point at one node.
+func (s *SharedSkyline) insertAt(sn *sharedNode, payload int, vals []float64, relevant QSet) {
+	sp := 0.0
+	for _, k := range sn.sub {
+		sp += vals[k]
+	}
+	// Entries with sum ≤ sp form the dominator candidates; entries with
+	// sum ≥ sp are the eviction candidates (equal sums appear in both).
+	lowIdx := sort.Search(len(sn.window), func(i int) bool { return sn.window[i].sum >= sp })
+	hiIdx := sort.Search(len(sn.window), func(i int) bool { return sn.window[i].sum > sp })
+
+	aliveP := relevant
+	cleanP := true
+	var cmpCount int64
+
+	// Prefix scan: can some member dominate p?
+	for _, w := range sn.window[:hiIdx] {
+		if w.lineage&relevant == 0 {
+			continue // disjoint lineages never interact
+		}
+		if s.childProtects(sn, payload, w.payload) {
+			continue // w provably cannot weakly dominate p here
+		}
+		cmpCount++
+		wWeakP, pWeakW := true, true
+		for _, k := range sn.sub {
+			if w.vals[k] > vals[k] {
+				wWeakP = false
+				break
+			} else if w.vals[k] < vals[k] {
+				pWeakW = false
+			}
+		}
+		if wWeakP {
+			cleanP = false
+			if !pWeakW { // strict: w ≺ p
+				aliveP &^= w.lineage
+				if aliveP == 0 {
+					break
+				}
+			}
+		}
+	}
+
+	if aliveP == 0 {
+		// p is dominated for every query it serves. Any member p would
+		// evict is already evicted by p's dominators (transitivity), so the
+		// suffix scan can be skipped entirely.
+		if s.clock != nil && cmpCount > 0 {
+			s.clock.CountSkylineCmp(cmpCount)
+		}
+		return
+	}
+
+	// Suffix scan: which members does p dominate?
+	keep := sn.window[:lowIdx]
+	for _, w := range sn.window[lowIdx:] {
+		if w.lineage&relevant == 0 || s.childProtects(sn, w.payload, payload) {
+			keep = append(keep, w)
+			continue
+		}
+		cmpCount++
+		wWeakP, pWeakW := true, true
+		for _, k := range sn.sub {
+			if vals[k] > w.vals[k] {
+				pWeakW = false
+				break
+			} else if vals[k] < w.vals[k] {
+				wWeakP = false
+			}
+		}
+		if wWeakP && pWeakW { // equal in the subspace (sum tie)
+			cleanP = false
+		}
+		if pWeakW {
+			w.clean = false
+			if !wWeakP { // strict: p ≺ w
+				w.alive &^= relevant
+				if w.alive == 0 {
+					sn.members[w.payload] = nil
+					continue // drop w from the window
+				}
+			}
+		}
+		keep = append(keep, w)
+	}
+	sn.window = keep
+	if s.clock != nil && cmpCount > 0 {
+		s.clock.CountSkylineCmp(cmpCount)
+	}
+
+	// Insert p at its sorted position (end of its equal-sum run within the
+	// kept prefix; lowIdx..hiIdx survivors precede it).
+	e := &sharedEntry{payload: payload, vals: vals, sum: sp, lineage: relevant, alive: aliveP, clean: cleanP}
+	pos := sort.Search(len(sn.window), func(i int) bool { return sn.window[i].sum > sp })
+	sn.window = append(sn.window, nil)
+	copy(sn.window[pos+1:], sn.window[pos:])
+	sn.window[pos] = e
+	sn.setMember(payload, e)
+}
+
+// childProtects reports whether some cuboid child of sn's node contains both
+// points as current members with the protected point clean there, which
+// proves the attacker cannot dominate the protected point in sn's subspace.
+func (s *SharedSkyline) childProtects(sn *sharedNode, protectedID, attackerID int) bool {
+	for _, cn := range sn.children {
+		pe := cn.memberAt(protectedID)
+		if pe == nil || !pe.clean {
+			continue
+		}
+		if cn.memberAt(attackerID) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// KillForQueries removes candidacy of a point for the given queries across
+// all nodes (used when region-level knowledge invalidates join results that
+// were already inserted). Points with no remaining alive bits are dropped.
+func (s *SharedSkyline) KillForQueries(payload int, dead QSet) {
+	for _, sn := range s.nodes {
+		e := sn.memberAt(payload)
+		if e == nil {
+			continue
+		}
+		e.alive &^= dead
+		if e.alive == 0 {
+			sn.members[payload] = nil
+			for i, w := range sn.window {
+				if w.payload == payload {
+					sn.window = append(sn.window[:i], sn.window[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}
+
+// Candidates returns the payloads currently alive for query qi at its full
+// preference node, in ascending payload order (deterministic).
+func (s *SharedSkyline) Candidates(qi int) []int {
+	sn := s.prefSN[qi]
+	var out []int
+	for _, e := range sn.window {
+		if e.alive.Has(qi) {
+			out = append(out, e.payload)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IsCandidate reports whether a point is currently alive for query qi.
+func (s *SharedSkyline) IsCandidate(payload, qi int) bool {
+	e := s.prefSN[qi].memberAt(payload)
+	return e != nil && e.alive.Has(qi)
+}
+
+// PointVals returns the stored coordinates of an inserted point, or nil.
+func (s *SharedSkyline) PointVals(payload int) []float64 {
+	if payload < len(s.points) {
+		return s.points[payload]
+	}
+	return nil
+}
+
+// WindowSize returns the current window size at the full-preference node of
+// query qi (for diagnostics and tests).
+func (s *SharedSkyline) WindowSize(qi int) int { return len(s.prefSN[qi].window) }

@@ -1,0 +1,344 @@
+package skycube
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+	"caqe/internal/skyline"
+)
+
+// naiveQuerySkyline computes query qi's skyline over the points whose
+// lineage includes qi — the oracle for SharedSkyline.
+func naiveQuerySkyline(pref preference.Subspace, pts [][]float64, lineages []QSet, qi int) []int {
+	var out []int
+	for i := range pts {
+		if !lineages[i].Has(qi) {
+			continue
+		}
+		dominated := false
+		for j := range pts {
+			if i == j || !lineages[j].Has(qi) {
+				continue
+			}
+			if preference.DominatesIn(pref, pts[j], pts[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSharedSkylineMatchesNaive is the central property test: for random
+// workloads, points and lineages (including ties from small domains), the
+// shared cuboid state must report exactly the per-query skylines a naive
+// independent evaluation produces — in any insertion order.
+func TestSharedSkylineMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 80; trial++ {
+		d := 3 + rng.Intn(2)
+		nq := 1 + rng.Intn(4)
+		prefs := make([]preference.Subspace, nq)
+		for i := range prefs {
+			var dims []int
+			for len(dims) == 0 {
+				dims = dims[:0]
+				for k := 0; k < d; k++ {
+					if rng.Intn(2) == 1 {
+						dims = append(dims, k)
+					}
+				}
+			}
+			prefs[i] = preference.NewSubspace(dims...)
+		}
+		c, err := BuildCuboid(prefs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSharedSkyline(c, nil)
+
+		n := 5 + rng.Intn(60)
+		domain := 3 + rng.Intn(8) // small: plenty of ties (no DVA)
+		pts := make([][]float64, n)
+		lineages := make([]QSet, n)
+		for i := range pts {
+			p := make([]float64, d)
+			for k := range p {
+				p[k] = float64(rng.Intn(domain))
+			}
+			pts[i] = p
+			var l QSet
+			for l == 0 {
+				for q := 0; q < nq; q++ {
+					if rng.Intn(2) == 1 {
+						l = l.Add(q)
+					}
+				}
+			}
+			lineages[i] = l
+			s.Insert(i, p, l)
+		}
+		for qi := 0; qi < nq; qi++ {
+			want := naiveQuerySkyline(prefs[qi], pts, lineages, qi)
+			got := s.Candidates(qi)
+			if !sameInts(want, got) {
+				t.Fatalf("trial %d query %d (pref %v):\n got %v\nwant %v",
+					trial, qi, prefs[qi], got, want)
+			}
+			for _, p := range want {
+				if !s.IsCandidate(p, qi) {
+					t.Fatalf("IsCandidate(%d, %d) = false", p, qi)
+				}
+			}
+		}
+	}
+}
+
+// TestSharedSkylineSavesComparisons verifies the sharing claim of §4.1: on
+// a multi-query workload with overlapping preferences and distinct values,
+// the shared cuboid performs fewer dominance comparisons than evaluating
+// each query's skyline independently (each with its own BNL-style window).
+func TestSharedSkylineSavesComparisons(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	prefs := []preference.Subspace{
+		preference.NewSubspace(0, 1),
+		preference.NewSubspace(0, 1, 2),
+		preference.NewSubspace(1, 2),
+		preference.NewSubspace(1, 2, 3),
+	}
+	c, err := BuildCuboid(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 400
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, 4)
+		for k := range p {
+			p[k] = rng.Float64() * 100 // continuous: effectively distinct
+		}
+		pts[i] = p
+	}
+	all := QSet(0)
+	for q := range prefs {
+		all = all.Add(q)
+	}
+
+	sharedClock := metrics.NewClock()
+	s := NewSharedSkyline(c, sharedClock)
+	for i, p := range pts {
+		s.Insert(i, p, all)
+	}
+	shared := sharedClock.Counters().SkylineCmps
+
+	// Independent evaluation: one window per query.
+	indepClock := metrics.NewClock()
+	for _, pref := range prefs {
+		var window [][]float64
+		for _, p := range pts {
+			dominated := false
+			keep := window[:0]
+			for _, w := range window {
+				indepClock.CountSkylineCmp(1)
+				if preference.DominatesIn(pref, w, p) {
+					dominated = true
+				}
+				if !(preference.DominatesIn(pref, p, w)) {
+					keep = append(keep, w)
+				}
+			}
+			window = keep
+			if !dominated {
+				window = append(window, p)
+			}
+		}
+	}
+	indep := indepClock.Counters().SkylineCmps
+
+	if shared >= indep {
+		t.Fatalf("shared plan used %d comparisons, independent used %d — no sharing benefit", shared, indep)
+	}
+	t.Logf("shared=%d independent=%d (%.1fx saving)", shared, indep, float64(indep)/float64(shared))
+}
+
+func TestKillForQueries(t *testing.T) {
+	prefs := []preference.Subspace{
+		preference.NewSubspace(0, 1),
+		preference.NewSubspace(0, 1),
+	}
+	c, err := BuildCuboid(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSharedSkyline(c, nil)
+	both := QSet(0).Add(0).Add(1)
+	s.Insert(0, []float64{1, 1}, both)
+	if !s.IsCandidate(0, 0) || !s.IsCandidate(0, 1) {
+		t.Fatal("inserted point not a candidate")
+	}
+	s.KillForQueries(0, QSet(0).Add(0))
+	if s.IsCandidate(0, 0) {
+		t.Fatal("kill for query 0 ineffective")
+	}
+	if !s.IsCandidate(0, 1) {
+		t.Fatal("kill for query 0 leaked to query 1")
+	}
+	s.KillForQueries(0, QSet(0).Add(1))
+	if s.IsCandidate(0, 1) {
+		t.Fatal("second kill ineffective")
+	}
+	if got := s.Candidates(1); len(got) != 0 {
+		t.Fatalf("candidates after full kill: %v", got)
+	}
+}
+
+func TestInsertReturnsCandidacy(t *testing.T) {
+	prefs := []preference.Subspace{preference.NewSubspace(0, 1)}
+	c, _ := BuildCuboid(prefs)
+	s := NewSharedSkyline(c, nil)
+	one := QSet(0).Add(0)
+	if got := s.Insert(0, []float64{5, 5}, one); !got.Has(0) {
+		t.Fatal("first point should be a candidate")
+	}
+	if got := s.Insert(1, []float64{9, 9}, one); got.Has(0) {
+		t.Fatal("dominated point reported as candidate")
+	}
+	if got := s.Insert(2, []float64{1, 9}, one); !got.Has(0) {
+		t.Fatal("incomparable point should be a candidate")
+	}
+}
+
+func TestLineageIsolation(t *testing.T) {
+	// A point of query 0 must never evict a point that only query 1 sees.
+	prefs := []preference.Subspace{
+		preference.NewSubspace(0, 1),
+		preference.NewSubspace(0, 1),
+	}
+	c, _ := BuildCuboid(prefs)
+	s := NewSharedSkyline(c, nil)
+	q0 := QSet(0).Add(0)
+	q1 := QSet(0).Add(1)
+	s.Insert(0, []float64{9, 9}, q1) // bad point, but only query 1's
+	s.Insert(1, []float64{1, 1}, q0) // great point for query 0 only
+	if !s.IsCandidate(0, 1) {
+		t.Fatal("query-0 point evicted query-1 result")
+	}
+	if !s.IsCandidate(1, 0) {
+		t.Fatal("query-0 point lost")
+	}
+}
+
+func TestPointVals(t *testing.T) {
+	prefs := []preference.Subspace{preference.NewSubspace(0)}
+	c, _ := BuildCuboid(prefs)
+	s := NewSharedSkyline(c, nil)
+	s.Insert(3, []float64{7}, QSet(0).Add(0))
+	if v := s.PointVals(3); len(v) != 1 || v[0] != 7 {
+		t.Fatalf("PointVals = %v", v)
+	}
+	if v := s.PointVals(99); v != nil {
+		t.Fatalf("missing point returned %v", v)
+	}
+}
+
+func TestWindowSize(t *testing.T) {
+	prefs := []preference.Subspace{preference.NewSubspace(0, 1)}
+	c, _ := BuildCuboid(prefs)
+	s := NewSharedSkyline(c, nil)
+	one := QSet(0).Add(0)
+	s.Insert(0, []float64{1, 9}, one)
+	s.Insert(1, []float64{9, 1}, one)
+	if got := s.WindowSize(0); got != 2 {
+		t.Fatalf("WindowSize = %d", got)
+	}
+}
+
+func TestCuboidSubspaceCounter(t *testing.T) {
+	prefs := figure1Prefs()
+	c, _ := BuildCuboid(prefs)
+	clock := metrics.NewClock()
+	NewSharedSkyline(c, clock)
+	if got := clock.Counters().CuboidSubspace; got != 8 {
+		t.Fatalf("cuboid subspaces counted = %d, want 8", got)
+	}
+}
+
+// TestSharedSkylineAgreesWithSkycube cross-validates the two sharing
+// engines: for a workload whose queries cover several subspaces, the
+// SharedSkyline candidates of each query must equal the corresponding
+// subspace skyline of ComputeSkycube.
+func TestSharedSkylineAgreesWithSkycube(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		d := 3 + rng.Intn(2)
+		var dims []int
+		for k := 0; k < d; k++ {
+			dims = append(dims, k)
+		}
+		full := preference.NewSubspace(dims...)
+		// Queries: a handful of random subspaces.
+		nq := 2 + rng.Intn(4)
+		prefs := make([]preference.Subspace, nq)
+		for i := range prefs {
+			var sub []int
+			for len(sub) == 0 {
+				sub = sub[:0]
+				for k := 0; k < d; k++ {
+					if rng.Intn(2) == 1 {
+						sub = append(sub, k)
+					}
+				}
+			}
+			prefs[i] = preference.NewSubspace(sub...)
+		}
+		cuboid, err := BuildCuboid(prefs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared := NewSharedSkyline(cuboid, nil)
+
+		n := 10 + rng.Intn(80)
+		domain := 3 + rng.Intn(8)
+		pts := make([]skyline.Point, n)
+		var all QSet
+		for q := 0; q < nq; q++ {
+			all = all.Add(q)
+		}
+		for i := range pts {
+			v := make([]float64, d)
+			for k := range v {
+				v[k] = float64(rng.Intn(domain))
+			}
+			pts[i] = skyline.Point{Vals: v, Payload: i}
+			shared.Insert(i, v, all)
+		}
+		cube := ComputeSkycube(full, pts, nil)
+		for qi, pref := range prefs {
+			want := cube.Skyline(pref)
+			got := shared.Candidates(qi)
+			if !sameInts(want, got) {
+				t.Fatalf("trial %d query %d (%v): shared %v != skycube %v", trial, qi, pref, got, want)
+			}
+		}
+	}
+}

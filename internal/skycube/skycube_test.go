@@ -1,0 +1,264 @@
+package skycube
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"caqe/internal/preference"
+)
+
+// figure1Prefs is the running workload of Figure 1: P1={d1,d2},
+// P2={d1,d2,d3}, P3={d2,d3}, P4={d2,d3,d4} (0-indexed here).
+func figure1Prefs() []preference.Subspace {
+	return []preference.Subspace{
+		preference.NewSubspace(0, 1),
+		preference.NewSubspace(0, 1, 2),
+		preference.NewSubspace(1, 2),
+		preference.NewSubspace(1, 2, 3),
+	}
+}
+
+func TestQSetBasics(t *testing.T) {
+	var q QSet
+	q = q.Add(0).Add(5)
+	if !q.Has(0) || !q.Has(5) || q.Has(1) {
+		t.Fatal("Has/Add broken")
+	}
+	if q.Count() != 2 {
+		t.Fatalf("Count = %d", q.Count())
+	}
+	qs := q.Queries()
+	if len(qs) != 2 || qs[0] != 0 || qs[1] != 5 {
+		t.Fatalf("Queries = %v", qs)
+	}
+	if q.String() != "{Q1,Q6}" {
+		t.Fatalf("String = %q", q.String())
+	}
+}
+
+func TestQServeOfExample12(t *testing.T) {
+	// Example 12: {d2,d3} serves Q2, Q3 and Q4; {d2,d4} serves only Q4.
+	prefs := figure1Prefs()
+	q := QServeOf(preference.NewSubspace(1, 2), prefs)
+	if q.String() != "{Q2,Q3,Q4}" {
+		t.Fatalf("QServe({d2,d3}) = %s", q)
+	}
+	q = QServeOf(preference.NewSubspace(1, 3), prefs)
+	if q.String() != "{Q4}" {
+		t.Fatalf("QServe({d2,d4}) = %s", q)
+	}
+}
+
+// TestCuboidMatchesFigure6 verifies the min-max cuboid of the running
+// workload exactly: level 0 holds the four singletons, level 1 holds
+// {d1,d2} and {d2,d3}, level 2 holds {d1,d2,d3} and {d2,d3,d4}.
+func TestCuboidMatchesFigure6(t *testing.T) {
+	c, err := BuildCuboid(figure1Prefs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLevel := map[int][]string{}
+	for _, n := range c.Nodes {
+		byLevel[n.Level] = append(byLevel[n.Level], n.Key())
+	}
+	want := map[int][]string{
+		0: {"d0", "d1", "d2", "d3"},
+		1: {"d0,d1", "d1,d2"},
+		2: {"d0,d1,d2", "d1,d2,d3"},
+	}
+	for lvl, keys := range want {
+		got := byLevel[lvl]
+		if len(got) != len(keys) {
+			t.Fatalf("level %d: got %v want %v", lvl, got, keys)
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Fatalf("level %d: got %v want %v", lvl, got, keys)
+			}
+		}
+	}
+	if len(c.Nodes) != 8 {
+		t.Fatalf("cuboid has %d nodes, want 8", len(c.Nodes))
+	}
+}
+
+func TestCuboidPrunedSkycube(t *testing.T) {
+	// The pruned skycube of Figure 1's workload: every subset of some P_i.
+	c, err := BuildCuboid(figure1Prefs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subsets of P2 (2^3-1=7) ∪ subsets of P4 (7) ∪ P1,P3 subsets (already
+	// included) = {d2,d4},{d3,d4}... count by brute force:
+	want := map[uint64]bool{}
+	for _, p := range figure1Prefs() {
+		full := p.Mask()
+		for m := full; m != 0; m = (m - 1) & full {
+			want[m] = true
+		}
+	}
+	if c.SkycubeSize() != len(want) {
+		t.Fatalf("pruned skycube size %d, want %d", c.SkycubeSize(), len(want))
+	}
+}
+
+// TestDefinition7BruteForce re-derives the retained set per Definition 7
+// for random workloads and compares with BuildCuboid.
+func TestDefinition7BruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		d := 3 + rng.Intn(3)
+		nq := 1 + rng.Intn(5)
+		prefs := make([]preference.Subspace, nq)
+		for i := range prefs {
+			var dims []int
+			for len(dims) == 0 {
+				dims = dims[:0]
+				for k := 0; k < d; k++ {
+					if rng.Intn(2) == 1 {
+						dims = append(dims, k)
+					}
+				}
+			}
+			prefs[i] = preference.NewSubspace(dims...)
+		}
+		c, err := BuildCuboid(prefs)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		all := c.ServingSubspaces()
+		prefMasks := make([]uint64, nq)
+		for i, p := range prefs {
+			prefMasks[i] = p.Mask()
+		}
+		got := map[uint64]bool{}
+		for _, n := range c.Nodes {
+			got[n.Sub.Mask()] = true
+		}
+		for mask, qs := range all {
+			// Definition 7, checked literally.
+			cond1 := bits.OnesCount64(mask) == 1 || qs.Count() > 1
+			cond3 := false
+			for _, pm := range prefMasks {
+				if pm == mask {
+					cond3 = true
+				}
+			}
+			cond2 := true
+			for vm, vq := range all {
+				if vm != mask && vm&mask == mask && qs&vq == qs {
+					cond2 = false
+					break
+				}
+			}
+			want := cond1 || cond2 || cond3
+			if got[mask] != want {
+				t.Fatalf("trial %d: subspace %b retained=%v want %v (qs=%s)",
+					trial, mask, got[mask], want, qs)
+			}
+		}
+		// Conversely, nothing outside the pruned skycube is retained.
+		for mask := range got {
+			if _, ok := all[mask]; !ok {
+				t.Fatalf("trial %d: retained subspace %b serves no query", trial, mask)
+			}
+		}
+	}
+}
+
+func TestEveryPreferenceHasANode(t *testing.T) {
+	prefs := figure1Prefs()
+	c, err := BuildCuboid(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range prefs {
+		n := c.PreferenceNode(i)
+		if n == nil || !n.Sub.Equal(p) {
+			t.Fatalf("query %d preference node = %v", i, n)
+		}
+	}
+}
+
+func TestLatticeLinks(t *testing.T) {
+	c, err := BuildCuboid(figure1Prefs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		nm := n.Sub.Mask()
+		for _, ch := range n.Children {
+			cm := ch.Sub.Mask()
+			if cm&nm != cm || cm == nm {
+				t.Fatalf("child %s not a proper subset of %s", ch.Key(), n.Key())
+			}
+			// Maximality: no other cuboid node strictly between them.
+			for _, o := range c.Nodes {
+				om := o.Sub.Mask()
+				if om != cm && om != nm && cm&om == cm && om&nm == om {
+					t.Fatalf("non-maximal child link %s ⊂ %s ⊂ %s", ch.Key(), o.Key(), n.Key())
+				}
+			}
+			// Inverse link present.
+			found := false
+			for _, p := range ch.Parents {
+				if p == n {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("missing parent link %s -> %s", ch.Key(), n.Key())
+			}
+		}
+	}
+}
+
+func TestBuildCuboidErrors(t *testing.T) {
+	if _, err := BuildCuboid(nil); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := BuildCuboid([]preference.Subspace{{}}); err == nil {
+		t.Error("empty preference accepted")
+	}
+	many := make([]preference.Subspace, 65)
+	for i := range many {
+		many[i] = preference.NewSubspace(0)
+	}
+	if _, err := BuildCuboid(many); err == nil {
+		t.Error("65 queries accepted")
+	}
+}
+
+func TestSingleQueryCuboid(t *testing.T) {
+	// One query over {d0,d1}: cuboid = singletons + the preference itself.
+	c, err := BuildCuboid([]preference.Subspace{preference.NewSubspace(0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes) != 3 {
+		t.Fatalf("single-query cuboid has %d nodes: %s", len(c.Nodes), c)
+	}
+	if c.NumQueries() != 1 {
+		t.Fatalf("NumQueries = %d", c.NumQueries())
+	}
+}
+
+func TestDims(t *testing.T) {
+	c, err := BuildCuboid(figure1Prefs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Dims().Equal(preference.NewSubspace(0, 1, 2, 3)) {
+		t.Fatalf("Dims = %v", c.Dims())
+	}
+}
+
+func TestCuboidString(t *testing.T) {
+	c, _ := BuildCuboid(figure1Prefs())
+	s := c.String()
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+}

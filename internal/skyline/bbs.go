@@ -1,0 +1,143 @@
+package skyline
+
+import (
+	"container/heap"
+
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+	"caqe/internal/rtree"
+)
+
+// BBS computes the skyline with the Branch-and-Bound Skyline algorithm of
+// Papadias et al. (SIGMOD 2003, cited in §8): an R-tree over the points is
+// traversed best-first by ascending mindist (sum of the MBR's lower bounds
+// over the subspace); popped entries dominated by a current skyline point
+// are pruned wholesale, and a popped point is final the moment it surfaces
+// — BBS is progressive and I/O-optimal on its index.
+//
+// Dominance comparisons (point-point and point-MBR) are charged to the
+// clock; index construction is not (the paper treats indexes as
+// precomputed).
+func BBS(v preference.Subspace, points []Point, clock *metrics.Clock) []Point {
+	return BBSProgressive(v, points, clock, nil)
+}
+
+// BBSProgressive is BBS with a per-result callback invoked at the moment
+// each skyline point is proven final.
+func BBSProgressive(v preference.Subspace, points []Point, clock *metrics.Clock, emit func(Point)) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	items := make([]rtree.Item, len(points))
+	for i, p := range points {
+		items[i] = rtree.Item{Point: p.Vals, Payload: i}
+	}
+	tree, err := rtree.Bulk(items, 0)
+	if err != nil {
+		// Only possible for malformed (mixed-dimensionality) input, which
+		// Point slices cannot express through the public constructors.
+		panic("skyline: " + err.Error())
+	}
+
+	c := counter{clock}
+	var sky []Point
+	h := &bbsHeap{}
+	heap.Push(h, bbsEntry{node: tree.Root(), key: tree.Root().MinSum(v)})
+
+	dominatedBySky := func(lo []float64) bool {
+		for _, s := range sky {
+			c.cmp(1)
+			if preference.WeakDominatesIn(v, s.Vals, lo) && strictSomewhere(v, s.Vals, lo) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for h.Len() > 0 {
+		e := heap.Pop(h).(bbsEntry)
+		if e.item != nil {
+			// A point entry: dominated points are discarded, survivors are
+			// final skyline members (no later entry can dominate them:
+			// every unpopped entry has a ≥ mindist, and a dominator would
+			// have a strictly smaller subspace sum).
+			if dominatedBySky(e.item.Point) {
+				continue
+			}
+			p := points[e.item.Payload]
+			sky = append(sky, p)
+			if emit != nil {
+				emit(p)
+			}
+			continue
+		}
+		n := e.node
+		if dominatedBySky(n.Lo) {
+			continue // the whole subtree is dominated
+		}
+		if n.IsLeaf() {
+			for i := range n.Items {
+				it := &n.Items[i]
+				heap.Push(h, bbsEntry{item: it, key: sumOver(v, it.Point)})
+			}
+		} else {
+			for _, ch := range n.Children {
+				heap.Push(h, bbsEntry{node: ch, key: ch.MinSum(v)})
+			}
+		}
+	}
+	return sky
+}
+
+// strictSomewhere reports whether a is strictly smaller than b on at least
+// one dimension of v (completing weak dominance into strict).
+func strictSomewhere(v preference.Subspace, a, b []float64) bool {
+	for _, k := range v {
+		if a[k] < b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+func sumOver(v preference.Subspace, p []float64) float64 {
+	s := 0.0
+	for _, k := range v {
+		s += p[k]
+	}
+	return s
+}
+
+// bbsEntry is one heap entry: either an R-tree node or a concrete item.
+type bbsEntry struct {
+	node *rtree.Node
+	item *rtree.Item
+	key  float64
+}
+
+type bbsHeap struct{ es []bbsEntry }
+
+func (h *bbsHeap) Len() int { return len(h.es) }
+func (h *bbsHeap) Less(i, j int) bool {
+	if h.es[i].key != h.es[j].key {
+		return h.es[i].key < h.es[j].key
+	}
+	// Points before nodes at equal keys (they are final); then stable by
+	// payload for determinism.
+	pi, pj := h.es[i].item != nil, h.es[j].item != nil
+	if pi != pj {
+		return pi
+	}
+	if pi && pj {
+		return h.es[i].item.Payload < h.es[j].item.Payload
+	}
+	return false
+}
+func (h *bbsHeap) Swap(i, j int)      { h.es[i], h.es[j] = h.es[j], h.es[i] }
+func (h *bbsHeap) Push(x interface{}) { h.es = append(h.es, x.(bbsEntry)) }
+func (h *bbsHeap) Pop() interface{} {
+	n := len(h.es)
+	e := h.es[n-1]
+	h.es = h.es[:n-1]
+	return e
+}

@@ -1,0 +1,91 @@
+package skyline
+
+import (
+	"sort"
+
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+)
+
+// SaLSa implements the Sort-and-Limit Skyline algorithm of Bartolini,
+// Ciaccia and Patella (CIKM 2006, cited in §8): points are sorted by the
+// *minimum* coordinate over the subspace (with the sum as tie-breaker) and
+// filtered like SFS, but the scan stops early — once the smallest maximum
+// coordinate seen among skyline points (the "stop point") is at most the
+// current minimum coordinate, no later point can survive, so the rest of
+// the input is never touched. On favourable inputs SaLSa examines a
+// fraction of what SFS scans while returning the identical skyline.
+func SaLSa(v preference.Subspace, points []Point, clock *metrics.Clock) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	c := counter{clock}
+
+	minOf := func(p Point) float64 {
+		m := p.Vals[v[0]]
+		for _, k := range v[1:] {
+			if p.Vals[k] < m {
+				m = p.Vals[k]
+			}
+		}
+		return m
+	}
+	maxOf := func(p Point) float64 {
+		m := p.Vals[v[0]]
+		for _, k := range v[1:] {
+			if p.Vals[k] > m {
+				m = p.Vals[k]
+			}
+		}
+		return m
+	}
+	sum := func(p Point) float64 {
+		s := 0.0
+		for _, k := range v {
+			s += p.Vals[k]
+		}
+		return s
+	}
+
+	sorted := append([]Point(nil), points...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		mi, mj := minOf(sorted[i]), minOf(sorted[j])
+		if mi != mj {
+			return mi < mj
+		}
+		si, sj := sum(sorted[i]), sum(sorted[j])
+		if si != sj {
+			return si < sj
+		}
+		return sorted[i].Payload < sorted[j].Payload
+	})
+
+	var window []Point
+	stop := maxOf(sorted[0]) // smallest max-coordinate among skyline members
+	stopValid := false
+	for _, p := range sorted {
+		// Stopping condition: every remaining point q has
+		// min(q) ≥ min(p) > stop ⇒ the stop point dominates q on every
+		// dimension (its max ≤ each of q's coordinates, strictly below at
+		// least min(q)).
+		if stopValid && minOf(p) > stop {
+			break
+		}
+		dominated := false
+		for _, w := range window {
+			c.cmp(1)
+			if preference.DominatesIn(v, w.Vals, p.Vals) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			window = append(window, p)
+			if m := maxOf(p); !stopValid || m < stop {
+				stop = m
+				stopValid = true
+			}
+		}
+	}
+	return window
+}

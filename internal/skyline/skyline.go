@@ -1,0 +1,175 @@
+// Package skyline implements single-relation skyline algorithms used as
+// building blocks and baselines (§8 of the paper): the naive quadratic
+// algorithm, Block-Nested-Loops (BNL, Börzsönyi et al.), and Sort-Filter-
+// Skyline (SFS, Chomicki et al.).
+//
+// All algorithms operate over arbitrary point sets in a given subspace and
+// count every pairwise dominance comparison through an optional
+// metrics.Clock, so that competing strategies can be compared on the paper's
+// "CPU usage" metric.
+package skyline
+
+import (
+	"sort"
+
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+)
+
+// Point is a d-dimensional point with an opaque payload index. Algorithms
+// return the surviving points; callers use Payload to map results back to
+// tuples or join results.
+type Point struct {
+	Vals    []float64
+	Payload int
+}
+
+// counter abstracts the comparison accounting so algorithms work with or
+// without a clock.
+type counter struct{ clock *metrics.Clock }
+
+func (c counter) cmp(n int64) {
+	if c.clock != nil {
+		c.clock.CountSkylineCmp(n)
+	}
+}
+
+// Naive computes the skyline of points in subspace v by comparing every pair
+// (the ground-truth oracle used by tests).
+func Naive(v preference.Subspace, points []Point, clock *metrics.Clock) []Point {
+	c := counter{clock}
+	var out []Point
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			c.cmp(1)
+			if preference.DominatesIn(v, points[j].Vals, points[i].Vals) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, points[i])
+		}
+	}
+	return out
+}
+
+// BNL computes the skyline with the Block-Nested-Loops algorithm: maintain a
+// window of incomparable points; each incoming point is compared against the
+// window, evicting points it dominates and being discarded if dominated.
+func BNL(v preference.Subspace, points []Point, clock *metrics.Clock) []Point {
+	c := counter{clock}
+	window := make([]Point, 0, 16)
+	for _, p := range points {
+		dominated := false
+		keep := window[:0]
+		for _, w := range window {
+			if dominated {
+				keep = append(keep, w)
+				continue
+			}
+			c.cmp(1)
+			switch preference.CompareIn(v, w.Vals, p.Vals) {
+			case -1: // w dominates p
+				dominated = true
+				keep = append(keep, w)
+			case 1: // p dominates w: evict w
+			default:
+				keep = append(keep, w)
+			}
+		}
+		window = keep
+		if !dominated {
+			window = append(window, p)
+		}
+	}
+	return window
+}
+
+// SFS computes the skyline with Sort-Filter-Skyline: first sort by a
+// monotone scoring function (the sum over the subspace dimensions), then run
+// a single filtering pass. After sorting, no point can dominate an earlier
+// point, so survivors are final as soon as they enter the window — SFS is
+// therefore *progressive*: survivors can be emitted immediately.
+func SFS(v preference.Subspace, points []Point, clock *metrics.Clock) []Point {
+	sorted := SortByMonotoneScore(v, points)
+	return sfsFiltered(v, sorted, clock, nil)
+}
+
+// SFSProgressive is SFS with a callback invoked for each survivor at the
+// moment it is known to be final (i.e. when it enters the window).
+func SFSProgressive(v preference.Subspace, points []Point, clock *metrics.Clock, emit func(Point)) []Point {
+	sorted := SortByMonotoneScore(v, points)
+	return sfsFiltered(v, sorted, clock, emit)
+}
+
+// SortByMonotoneScore returns a copy of points sorted ascending by the sum
+// of the subspace dimensions (a monotone function of the dominance order:
+// if a ≺_V b then score(a) < score(b)). Ties broken by payload for
+// determinism.
+func SortByMonotoneScore(v preference.Subspace, points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	score := func(p Point) float64 {
+		s := 0.0
+		for _, k := range v {
+			s += p.Vals[k]
+		}
+		return s
+	}
+	sort.SliceStable(sorted, func(i, j int) bool {
+		si, sj := score(sorted[i]), score(sorted[j])
+		if si != sj {
+			return si < sj
+		}
+		return sorted[i].Payload < sorted[j].Payload
+	})
+	return sorted
+}
+
+func sfsFiltered(v preference.Subspace, sorted []Point, clock *metrics.Clock, emit func(Point)) []Point {
+	c := counter{clock}
+	window := make([]Point, 0, 16)
+	for _, p := range sorted {
+		dominated := false
+		for _, w := range window {
+			c.cmp(1)
+			if preference.DominatesIn(v, w.Vals, p.Vals) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			window = append(window, p)
+			if emit != nil {
+				emit(p)
+			}
+		}
+	}
+	return window
+}
+
+// Filter removes from candidates every point dominated in v by some point in
+// filters (candidates are not compared against each other). It is the
+// primitive used for incremental skyline maintenance.
+func Filter(v preference.Subspace, candidates, filters []Point, clock *metrics.Clock) []Point {
+	c := counter{clock}
+	out := candidates[:0:0]
+	for _, p := range candidates {
+		dominated := false
+		for _, f := range filters {
+			c.cmp(1)
+			if preference.DominatesIn(v, f.Vals, p.Vals) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	return out
+}

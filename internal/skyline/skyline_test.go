@@ -1,0 +1,377 @@
+package skyline
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+)
+
+func randPoints(rng *rand.Rand, n, d, domain int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		vals := make([]float64, d)
+		for k := range vals {
+			vals[k] = float64(rng.Intn(domain))
+		}
+		pts[i] = Point{Vals: vals, Payload: i}
+	}
+	return pts
+}
+
+func payloads(pts []Point) []int {
+	out := make([]int, len(pts))
+	for i, p := range pts {
+		out[i] = p.Payload
+	}
+	sort.Ints(out)
+	return out
+}
+
+func samePayloads(a, b []Point) bool {
+	pa, pb := payloads(a), payloads(b)
+	if len(pa) != len(pb) {
+		return false
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAlgorithmsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		d := 2 + rng.Intn(3)
+		n := rng.Intn(60)
+		domain := 2 + rng.Intn(10) // small domains force ties
+		pts := randPoints(rng, n, d, domain)
+		var dims []int
+		for k := 0; k < d; k++ {
+			dims = append(dims, k)
+		}
+		v := preference.NewSubspace(dims[:1+rng.Intn(d)]...)
+
+		naive := Naive(v, pts, nil)
+		bnl := BNL(v, pts, nil)
+		sfs := SFS(v, pts, nil)
+		if !samePayloads(naive, bnl) {
+			t.Fatalf("trial %d: BNL %v != naive %v (v=%v)", trial, payloads(bnl), payloads(naive), v)
+		}
+		if !samePayloads(naive, sfs) {
+			t.Fatalf("trial %d: SFS %v != naive %v (v=%v)", trial, payloads(sfs), payloads(naive), v)
+		}
+	}
+}
+
+// TestSkylineInvariant checks the two defining properties of a skyline: no
+// member is dominated by any input point, and every non-member is dominated
+// by some member.
+func TestSkylineInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		pts := randPoints(rng, 80, 3, 6)
+		v := preference.NewSubspace(0, 1, 2)
+		sky := BNL(v, pts, nil)
+		inSky := map[int]bool{}
+		for _, s := range sky {
+			inSky[s.Payload] = true
+		}
+		for _, s := range sky {
+			for _, p := range pts {
+				if preference.DominatesIn(v, p.Vals, s.Vals) {
+					t.Fatalf("skyline member %v dominated by %v", s, p)
+				}
+			}
+		}
+		for _, p := range pts {
+			if inSky[p.Payload] {
+				continue
+			}
+			dominated := false
+			for _, s := range sky {
+				if preference.DominatesIn(v, s.Vals, p.Vals) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Fatalf("non-member %v not dominated by any skyline member", p)
+			}
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	v := preference.NewSubspace(0, 1)
+	if got := BNL(v, nil, nil); len(got) != 0 {
+		t.Errorf("BNL(nil) = %v", got)
+	}
+	if got := SFS(v, nil, nil); len(got) != 0 {
+		t.Errorf("SFS(nil) = %v", got)
+	}
+	one := []Point{{Vals: []float64{1, 2}, Payload: 7}}
+	if got := BNL(v, one, nil); len(got) != 1 || got[0].Payload != 7 {
+		t.Errorf("BNL(singleton) = %v", got)
+	}
+}
+
+func TestDuplicatePointsAllSurvive(t *testing.T) {
+	// Equal points do not dominate each other, so duplicates all stay.
+	v := preference.NewSubspace(0, 1)
+	pts := []Point{
+		{Vals: []float64{1, 1}, Payload: 0},
+		{Vals: []float64{1, 1}, Payload: 1},
+		{Vals: []float64{2, 2}, Payload: 2},
+	}
+	for name, algo := range map[string]func(preference.Subspace, []Point, *metrics.Clock) []Point{
+		"naive": Naive, "bnl": BNL, "sfs": SFS,
+	} {
+		got := algo(v, pts, nil)
+		if len(got) != 2 {
+			t.Errorf("%s: got %v, want the two duplicates", name, payloads(got))
+		}
+	}
+}
+
+func TestSFSProgressiveEmitsExactlySkyline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randPoints(rng, 100, 3, 20)
+	v := preference.NewSubspace(0, 1, 2)
+	var emitted []Point
+	sky := SFSProgressive(v, pts, nil, func(p Point) { emitted = append(emitted, p) })
+	if !samePayloads(sky, emitted) {
+		t.Fatalf("emitted %v != skyline %v", payloads(emitted), payloads(sky))
+	}
+	// Progressiveness: every emitted point must be final immediately, i.e.
+	// not dominated by anything that comes later either (checked globally).
+	for _, e := range emitted {
+		for _, p := range pts {
+			if preference.DominatesIn(v, p.Vals, e.Vals) {
+				t.Fatalf("emitted point %v dominated by %v", e, p)
+			}
+		}
+	}
+}
+
+func TestSortByMonotoneScoreRespectsDominance(t *testing.T) {
+	// If a dominates b in v, a must sort strictly before b.
+	rng := rand.New(rand.NewSource(4))
+	pts := randPoints(rng, 60, 3, 8)
+	v := preference.NewSubspace(0, 2)
+	sorted := SortByMonotoneScore(v, pts)
+	pos := map[int]int{}
+	for i, p := range sorted {
+		pos[p.Payload] = i
+	}
+	for _, a := range pts {
+		for _, b := range pts {
+			if preference.DominatesIn(v, a.Vals, b.Vals) && pos[a.Payload] > pos[b.Payload] {
+				t.Fatalf("dominating point sorted after dominated one")
+			}
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	v := preference.NewSubspace(0, 1)
+	candidates := []Point{
+		{Vals: []float64{5, 5}, Payload: 0},
+		{Vals: []float64{1, 9}, Payload: 1},
+	}
+	filters := []Point{{Vals: []float64{2, 2}, Payload: 99}}
+	got := Filter(v, candidates, filters, nil)
+	if len(got) != 1 || got[0].Payload != 1 {
+		t.Fatalf("Filter got %v", payloads(got))
+	}
+}
+
+func TestComparisonCounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randPoints(rng, 200, 3, 50)
+	v := preference.NewSubspace(0, 1, 2)
+
+	counts := map[string]int64{}
+	for name, algo := range map[string]func(preference.Subspace, []Point, *metrics.Clock) []Point{
+		"naive": Naive, "bnl": BNL, "sfs": SFS,
+	} {
+		clock := metrics.NewClock()
+		algo(v, pts, clock)
+		counts[name] = clock.Counters().SkylineCmps
+		if counts[name] == 0 {
+			t.Errorf("%s performed zero comparisons on 200 points", name)
+		}
+	}
+	// SFS's presorting should beat BNL, and both should beat naive, on a
+	// typical independent dataset of this size.
+	if counts["sfs"] > counts["bnl"] {
+		t.Errorf("SFS (%d cmps) worse than BNL (%d)", counts["sfs"], counts["bnl"])
+	}
+	if counts["bnl"] > counts["naive"] {
+		t.Errorf("BNL (%d cmps) worse than naive (%d)", counts["bnl"], counts["naive"])
+	}
+}
+
+func TestSubspaceSkylineSupersetsFullSpace(t *testing.T) {
+	// Under distinct values, the skyline of a subspace is contained in the
+	// skyline of any superspace (Theorem 1's point-level analogue).
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		// Distinct values per dimension: use a random permutation per dim.
+		n := 40
+		pts := make([]Point, n)
+		perm := func() []int { return rng.Perm(n) }
+		p0, p1, p2 := perm(), perm(), perm()
+		for i := 0; i < n; i++ {
+			pts[i] = Point{Vals: []float64{float64(p0[i]), float64(p1[i]), float64(p2[i])}, Payload: i}
+		}
+		sub := preference.NewSubspace(0, 1)
+		full := preference.NewSubspace(0, 1, 2)
+		subSky := payloads(BNL(sub, pts, nil))
+		fullSky := map[int]bool{}
+		for _, p := range BNL(full, pts, nil) {
+			fullSky[p.Payload] = true
+		}
+		for _, pl := range subSky {
+			if !fullSky[pl] {
+				t.Fatalf("subspace skyline member %d missing from superspace skyline", pl)
+			}
+		}
+	}
+}
+
+func TestBBSAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		d := 2 + rng.Intn(3)
+		n := rng.Intn(120)
+		domain := 2 + rng.Intn(20)
+		pts := randPoints(rng, n, d, domain)
+		var dims []int
+		for k := 0; k < d; k++ {
+			dims = append(dims, k)
+		}
+		v := preference.NewSubspace(dims[:1+rng.Intn(d)]...)
+		naive := Naive(v, pts, nil)
+		bbs := BBS(v, pts, nil)
+		if !samePayloads(naive, bbs) {
+			t.Fatalf("trial %d: BBS %v != naive %v (v=%v, n=%d)", trial, payloads(bbs), payloads(naive), v, n)
+		}
+	}
+}
+
+func TestBBSProgressiveOrder(t *testing.T) {
+	// BBS emits skyline points in non-decreasing subspace-sum order, and
+	// every emitted point is final immediately.
+	rng := rand.New(rand.NewSource(8))
+	pts := randPoints(rng, 300, 3, 50)
+	v := preference.NewSubspace(0, 1, 2)
+	var emitted []Point
+	BBSProgressive(v, pts, nil, func(p Point) { emitted = append(emitted, p) })
+	last := -1.0
+	for _, e := range emitted {
+		s := e.Vals[0] + e.Vals[1] + e.Vals[2]
+		if s < last {
+			t.Fatalf("BBS emission order not monotone in sum: %g after %g", s, last)
+		}
+		last = s
+		for _, p := range pts {
+			if preference.DominatesIn(v, p.Vals, e.Vals) {
+				t.Fatalf("BBS emitted dominated point %v", e)
+			}
+		}
+	}
+}
+
+func TestBBSEmpty(t *testing.T) {
+	if got := BBS(preference.NewSubspace(0), nil, nil); got != nil {
+		t.Fatalf("BBS(nil) = %v", got)
+	}
+}
+
+func TestBBSComparisonsCharged(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randPoints(rng, 200, 3, 50)
+	v := preference.NewSubspace(0, 1, 2)
+	clock := metrics.NewClock()
+	BBS(v, pts, clock)
+	if clock.Counters().SkylineCmps == 0 {
+		t.Fatal("BBS charged no comparisons")
+	}
+}
+
+func TestBBSPrunesVersusBNL(t *testing.T) {
+	// On correlated-ish data BBS's wholesale MBR pruning should need far
+	// fewer comparisons than BNL.
+	rng := rand.New(rand.NewSource(10))
+	n := 2000
+	pts := make([]Point, n)
+	for i := range pts {
+		base := rng.Float64() * 100
+		pts[i] = Point{Vals: []float64{
+			base + rng.Float64()*5,
+			base + rng.Float64()*5,
+			base + rng.Float64()*5,
+		}, Payload: i}
+	}
+	v := preference.NewSubspace(0, 1, 2)
+	cb := metrics.NewClock()
+	BNL(v, pts, cb)
+	cx := metrics.NewClock()
+	BBS(v, pts, cx)
+	if cx.Counters().SkylineCmps >= cb.Counters().SkylineCmps {
+		t.Fatalf("BBS (%d cmps) not better than BNL (%d) on correlated data",
+			cx.Counters().SkylineCmps, cb.Counters().SkylineCmps)
+	}
+}
+
+func TestSaLSaAgreesWithNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		d := 2 + rng.Intn(3)
+		n := rng.Intn(100)
+		domain := 2 + rng.Intn(15)
+		pts := randPoints(rng, n, d, domain)
+		var dims []int
+		for k := 0; k < d; k++ {
+			dims = append(dims, k)
+		}
+		v := preference.NewSubspace(dims[:1+rng.Intn(d)]...)
+		naive := Naive(v, pts, nil)
+		salsa := SaLSa(v, pts, nil)
+		if !samePayloads(naive, salsa) {
+			t.Fatalf("trial %d: SaLSa %v != naive %v (v=%v)", trial, payloads(salsa), payloads(naive), v)
+		}
+	}
+}
+
+func TestSaLSaStopsEarly(t *testing.T) {
+	// A point near the origin makes the stop value tiny, so SaLSa should
+	// terminate after a small prefix while SFS scans everything.
+	rng := rand.New(rand.NewSource(12))
+	pts := make([]Point, 0, 3001)
+	pts = append(pts, Point{Vals: []float64{1, 1, 1}, Payload: 0})
+	for i := 1; i <= 3000; i++ {
+		pts = append(pts, Point{Vals: []float64{
+			5 + rng.Float64()*95, 5 + rng.Float64()*95, 5 + rng.Float64()*95,
+		}, Payload: i})
+	}
+	v := preference.NewSubspace(0, 1, 2)
+	cs := metrics.NewClock()
+	SaLSa(v, pts, cs)
+	cf := metrics.NewClock()
+	SFS(v, pts, cf)
+	if s, f := cs.Counters().SkylineCmps, cf.Counters().SkylineCmps; s*10 > f {
+		t.Fatalf("SaLSa early stop ineffective: %d vs SFS %d comparisons", s, f)
+	}
+}
+
+func TestSaLSaEmpty(t *testing.T) {
+	if got := SaLSa(preference.NewSubspace(0), nil, nil); got != nil {
+		t.Fatalf("SaLSa(nil) = %v", got)
+	}
+}

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"caqe/internal/contract"
+	"caqe/internal/join"
+	"caqe/internal/preference"
+)
+
+// PriorityMode controls how priorities are assigned in generated benchmark
+// workloads, matching §7.2: for contracts {C1, C2} queries with more skyline
+// dimensions get higher priority; for {C3, C4} queries with fewer dimensions
+// do; for {C5} priorities are assigned uniformly.
+type PriorityMode int
+
+const (
+	// HighDimsHigh gives queries with more skyline dimensions higher priority.
+	HighDimsHigh PriorityMode = iota
+	// LowDimsHigh gives queries with fewer skyline dimensions higher priority.
+	LowDimsHigh
+	// UniformPriority spreads priorities evenly across the workload in
+	// query order, mixing bands independent of dimensionality.
+	UniformPriority
+)
+
+// PriorityModeFor returns the §7.2 priority assignment for a contract class
+// label ("C1".."C5").
+func PriorityModeFor(class string) PriorityMode {
+	switch class {
+	case "C1", "C2":
+		return HighDimsHigh
+	case "C3", "C4":
+		return LowDimsHigh
+	default:
+		return UniformPriority
+	}
+}
+
+// BenchmarkConfig describes a generated benchmark workload: numQueries
+// queries over a d-dimensional output space (output dimension k is
+// R.a_k + T.a_k), all sharing one equi-join condition, with skyline
+// preferences enumerated deterministically over subsets of size ≥ 2.
+type BenchmarkConfig struct {
+	NumQueries int
+	Dims       int // output-space dimensionality d
+	Priority   PriorityMode
+	// NewContract builds the contract of query i (all experiments in the
+	// paper use one contract class per run; the index allows mixtures).
+	NewContract func(i int) contract.Contract
+}
+
+// Benchmark generates the workload. Preferences are all subsets of the d
+// dimensions with 2 ≤ |P| ≤ d, enumerated smaller-first then by mask value
+// (for d = 4 this yields exactly the paper's 11-query headline workload:
+// six 2-d, four 3-d and one 4-d query). NumQueries beyond the number of
+// available subsets is an error.
+func Benchmark(cfg BenchmarkConfig) (*Workload, error) {
+	if cfg.Dims < 2 {
+		return nil, fmt.Errorf("workload: benchmark needs ≥ 2 dimensions, got %d", cfg.Dims)
+	}
+	if cfg.NewContract == nil {
+		return nil, fmt.Errorf("workload: benchmark needs a contract factory")
+	}
+	subs := EnumeratePreferences(cfg.Dims)
+	if cfg.NumQueries < 1 || cfg.NumQueries > len(subs) {
+		return nil, fmt.Errorf("workload: %d queries requested but %d preferences available for d=%d",
+			cfg.NumQueries, len(subs), cfg.Dims)
+	}
+	subs = subs[:cfg.NumQueries]
+
+	w := &Workload{
+		JoinConds: []join.EquiJoin{{Name: "JC1", LeftKey: 0, RightKey: 0}},
+	}
+	for k := 0; k < cfg.Dims; k++ {
+		w.OutDims = append(w.OutDims, join.Sum(fmt.Sprintf("x%d", k), k))
+	}
+	prios := priorities(subs, cfg.Priority)
+	for i, p := range subs {
+		w.Queries = append(w.Queries, Query{
+			Name:     fmt.Sprintf("Q%d", i+1),
+			JC:       0,
+			Pref:     p,
+			Priority: prios[i],
+			Contract: cfg.NewContract(i),
+		})
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// MustBenchmark is Benchmark that panics on error; for harness code with
+// hard-coded configurations.
+func MustBenchmark(cfg BenchmarkConfig) *Workload {
+	w, err := Benchmark(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// EnumeratePreferences lists every subset of {0..d-1} with cardinality ≥ 2,
+// ordered by cardinality then by bitmask value. The order is the canonical
+// query numbering of generated workloads.
+func EnumeratePreferences(d int) []preference.Subspace {
+	type entry struct {
+		mask uint64
+		card int
+	}
+	var es []entry
+	for m := uint64(1); m < 1<<uint(d); m++ {
+		c := bits.OnesCount64(m)
+		if c >= 2 {
+			es = append(es, entry{m, c})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].card != es[j].card {
+			return es[i].card < es[j].card
+		}
+		return es[i].mask < es[j].mask
+	})
+	out := make([]preference.Subspace, len(es))
+	for i, e := range es {
+		out[i] = preference.SubspaceFromMask(e.mask)
+	}
+	return out
+}
+
+// priorities assigns per-query priorities according to the mode, spreading
+// values across [0.05, 0.95] by rank so all three bands are populated.
+func priorities(prefs []preference.Subspace, mode PriorityMode) []float64 {
+	n := len(prefs)
+	out := make([]float64, n)
+	if n == 1 {
+		out[0] = PriorityHighMin + 0.2
+		return out
+	}
+	// rank[i] = position of query i in the desired descending-priority order.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	switch mode {
+	case HighDimsHigh:
+		sort.SliceStable(idx, func(a, b int) bool {
+			return len(prefs[idx[a]]) > len(prefs[idx[b]])
+		})
+	case LowDimsHigh:
+		sort.SliceStable(idx, func(a, b int) bool {
+			return len(prefs[idx[a]]) < len(prefs[idx[b]])
+		})
+	case UniformPriority:
+		// Interleave by stride to mix bands: 0, 2, 4, ..., 1, 3, 5, ...
+		var evens, odds []int
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				evens = append(evens, i)
+			} else {
+				odds = append(odds, i)
+			}
+		}
+		idx = append(evens, odds...)
+	}
+	for rank, qi := range idx {
+		out[qi] = 0.95 - 0.9*float64(rank)/float64(n-1)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package workload defines the multi-query workload model of the paper
+// (Figure 1): a set of skyline-over-join queries over shared base tables
+// R and T, each with a join condition JC_i, a projection onto the shared
+// output space X via scalar mapping functions, a skyline preference P_i
+// over X, a priority, and a progressiveness contract.
+package workload
+
+import (
+	"fmt"
+
+	"caqe/internal/contract"
+	"caqe/internal/join"
+	"caqe/internal/preference"
+	"caqe/internal/skycube"
+)
+
+// Priority bands of §7.1.
+const (
+	PriorityHighMin   = 0.7
+	PriorityMediumMin = 0.4
+)
+
+// PriorityBand names the band a priority value falls into.
+func PriorityBand(p float64) string {
+	switch {
+	case p >= PriorityHighMin:
+		return "HIGH"
+	case p >= PriorityMediumMin:
+		return "MEDIUM"
+	default:
+		return "LOW"
+	}
+}
+
+// Query is one skyline-over-join query SJ_{JC, F, X, P}(R, T).
+type Query struct {
+	Name     string
+	JC       int                 // index into Workload.JoinConds
+	Pref     preference.Subspace // skyline dimensions (indices into Workload.OutDims)
+	Priority float64             // [0, 1]; see PriorityBand
+	Contract contract.Contract   // progressiveness contract C_i
+}
+
+// Workload is a set of queries over a shared output space. OutDims is the
+// union of all mapping functions used by any query (the workload's
+// d-dimensional output abstraction of §4); each query's preference indexes
+// into it.
+type Workload struct {
+	JoinConds []join.EquiJoin
+	OutDims   []join.MapFunc
+	Queries   []Query
+}
+
+// Validate checks structural consistency.
+func (w *Workload) Validate() error {
+	if len(w.Queries) == 0 {
+		return fmt.Errorf("workload: no queries")
+	}
+	if len(w.Queries) > 64 {
+		return fmt.Errorf("workload: %d queries exceeds the 64-query limit", len(w.Queries))
+	}
+	if len(w.JoinConds) == 0 {
+		return fmt.Errorf("workload: no join conditions")
+	}
+	for i, f := range w.OutDims {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("workload: output dimension %d: %w", i, err)
+		}
+	}
+	for i, q := range w.Queries {
+		if q.JC < 0 || q.JC >= len(w.JoinConds) {
+			return fmt.Errorf("workload: query %s references join condition %d of %d", q.Name, q.JC, len(w.JoinConds))
+		}
+		if len(q.Pref) == 0 {
+			return fmt.Errorf("workload: query %s has an empty skyline preference", q.Name)
+		}
+		for _, d := range q.Pref {
+			if d < 0 || d >= len(w.OutDims) {
+				return fmt.Errorf("workload: query %s preference uses output dimension %d of %d", q.Name, d, len(w.OutDims))
+			}
+		}
+		if q.Priority < 0 || q.Priority > 1 {
+			return fmt.Errorf("workload: query %s priority %g outside [0,1]", q.Name, q.Priority)
+		}
+		if q.Contract == nil {
+			return fmt.Errorf("workload: query %s has no contract (query %d)", q.Name, i)
+		}
+	}
+	return nil
+}
+
+// Prefs returns the per-query skyline preferences, index-aligned with
+// Queries, as required by skycube.BuildCuboid.
+func (w *Workload) Prefs() []preference.Subspace {
+	out := make([]preference.Subspace, len(w.Queries))
+	for i, q := range w.Queries {
+		out[i] = q.Pref
+	}
+	return out
+}
+
+// QueriesWithJC returns the set of queries using join condition jc.
+func (w *Workload) QueriesWithJC(jc int) skycube.QSet {
+	var s skycube.QSet
+	for i, q := range w.Queries {
+		if q.JC == jc {
+			s = s.Add(i)
+		}
+	}
+	return s
+}
+
+// AllQueries returns the set of all query indices.
+func (w *Workload) AllQueries() skycube.QSet {
+	var s skycube.QSet
+	for i := range w.Queries {
+		s = s.Add(i)
+	}
+	return s
+}
+
+// ByPriority returns query indices sorted by descending priority (the
+// processing order used by the non-shared baselines, §7.1), ties broken by
+// index for determinism.
+func (w *Workload) ByPriority() []int {
+	idx := make([]int, len(w.Queries))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j-1], idx[j]
+			if w.Queries[a].Priority < w.Queries[b].Priority ||
+				(w.Queries[a].Priority == w.Queries[b].Priority && a > b) {
+				idx[j-1], idx[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return idx
+}
