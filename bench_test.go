@@ -8,6 +8,8 @@
 package caqe_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"caqe/internal/baseline"
@@ -278,6 +280,41 @@ func BenchmarkAblations(b *testing.B) {
 				}
 				b.ReportMetric(rep.AvgSatisfaction(), "avg-sat")
 				b.ReportMetric(float64(rep.Counters.SkylineCmps), "cmps")
+			}
+		})
+	}
+}
+
+// BenchmarkWorkersScaling measures the wall-clock effect of the parallel
+// tuple-level executor on a join-heavy configuration (large relations, few
+// coarse cells → big per-region probe counts that clear the parallel
+// cutoff). The reports are bit-identical across subtests — see
+// TestParallelWorkersBitIdentical — so any delta is pure wall-clock. On a
+// single-core runner the Workers:N subtests only pay goroutine overhead;
+// speedup needs GOMAXPROCS > 1.
+func BenchmarkWorkersScaling(b *testing.B) {
+	w := workload.MustBenchmark(workload.BenchmarkConfig{
+		NumQueries: 11, Dims: 4, Priority: workload.UniformPriority,
+		NewContract: func(int) contract.Contract { return contract.C2() },
+	})
+	r, t, err := datagen.Pair(2000, 4, datagen.Independent, []float64{0.02}, 2014)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng, err := core.New(w, r, t, core.Options{
+					TargetCells: 6, GridResolution: 32, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := eng.Execute(nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.EndTime, "virtual-sec")
 			}
 		})
 	}

@@ -186,20 +186,29 @@ func RunProgressive(w *Workload, r, t *Relation, opt Options, estTotals []int, o
 // ProgXe+, SSMJ) plus the classical time-shared MQP executor of §1.3.
 func Strategies() []string {
 	var names []string
-	for _, s := range allStrategies() {
+	for _, s := range allStrategies(0) {
 		names = append(names, s.Name)
 	}
 	return names
 }
 
-func allStrategies() []baseline.Strategy {
-	return append(baseline.All(baseline.Options{}), baseline.Extra()...)
+func allStrategies(workers int) []baseline.Strategy {
+	return append(baseline.All(baseline.Options{Workers: workers}), baseline.Extra()...)
 }
 
 // RunStrategy executes the workload under the named strategy (see
 // Strategies), enabling side-by-side comparisons on identical inputs.
 func RunStrategy(name string, w *Workload, r, t *Relation, estTotals []int) (*Report, error) {
-	for _, s := range allStrategies() {
+	return RunStrategyWithWorkers(name, w, r, t, estTotals, 0)
+}
+
+// RunStrategyWithWorkers is RunStrategy with an explicit join worker pool
+// size (0 = all cores, 1 = serial). The report is bit-identical for any
+// worker count — same emissions, same virtual timestamps, same counters —
+// only wall-clock time changes; see the determinism contract in
+// internal/metrics.
+func RunStrategyWithWorkers(name string, w *Workload, r, t *Relation, estTotals []int, workers int) (*Report, error) {
+	for _, s := range allStrategies(workers) {
 		if s.Name == name {
 			return s.Run(w, r, t, estTotals)
 		}

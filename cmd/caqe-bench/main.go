@@ -7,6 +7,7 @@
 //
 //	caqe-bench [-fig 9a|9b|9c|10|10a|10b|10c|11a|11b|all] [-n rows]
 //	           [-queries k] [-dims d] [-sel σ] [-seed s] [-cells c]
+//	           [-workers w]
 package main
 
 import (
@@ -28,12 +29,14 @@ func main() {
 		sel     = flag.Float64("sel", 0, "join selectivity σ (default 0.01)")
 		seed    = flag.Int64("seed", 0, "dataset seed (default 2014)")
 		cells   = flag.Int("cells", 0, "quad-tree leaf cells per relation (default 24)")
+		workers = flag.Int("workers", 0, "join worker pool size (default all cores; any value yields identical results)")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{
 		N: *n, NumQueries: *queries, Dims: *dims,
 		Selectivity: *sel, Seed: *seed, TargetCells: *cells,
+		Workers: *workers,
 	}
 
 	start := time.Now()

@@ -1,0 +1,157 @@
+package caqe_test
+
+import (
+	"fmt"
+	"testing"
+
+	"caqe"
+	"caqe/internal/join"
+	"caqe/internal/run"
+)
+
+// determinismWorkload exercises every contract class over two join
+// conditions so the parallel fan-out touches both the nested-loop and
+// hash-join paths of every strategy.
+func determinismWorkload() *caqe.Workload {
+	return &caqe.Workload{
+		JoinConds: []caqe.EquiJoin{
+			{Name: "JC1", LeftKey: 0, RightKey: 0},
+			{Name: "JC2", LeftKey: 1, RightKey: 1},
+		},
+		OutDims: []caqe.MapFunc{
+			caqe.SumDim("x0", 0),
+			caqe.SumDim("x1", 1),
+			caqe.SumDim("x2", 2),
+		},
+		Queries: []caqe.Query{
+			{Name: "Q1", JC: 0, Pref: caqe.Dims(0, 1), Priority: 0.9, Contract: caqe.Deadline(40)},
+			{Name: "Q2", JC: 0, Pref: caqe.Dims(0, 2), Priority: 0.7, Contract: caqe.LogDecay()},
+			{Name: "Q3", JC: 1, Pref: caqe.Dims(1, 2), Priority: 0.5, Contract: caqe.SoftDeadline(25)},
+			{Name: "Q4", JC: 0, Pref: caqe.Dims(0, 1, 2), Priority: 0.4, Contract: caqe.RateQuota(0.1, 10)},
+			{Name: "Q5", JC: 1, Pref: caqe.Dims(2), Priority: 0.3, Contract: caqe.Hybrid(0.1, 10)},
+		},
+	}
+}
+
+// requireIdenticalReports asserts byte-identical execution: the same result
+// sets, the same emissions in the same order with exactly equal virtual
+// timestamps and output points, the same operation counters and the same
+// end time.
+func requireIdenticalReports(t *testing.T, want, got *run.Report) {
+	t.Helper()
+	if ok, diff := run.SameResults(want, got); !ok {
+		t.Fatalf("result sets differ: %s", diff)
+	}
+	for qi := range want.PerQuery {
+		we, ge := want.PerQuery[qi], got.PerQuery[qi]
+		if len(we) != len(ge) {
+			t.Fatalf("query %d: %d vs %d emissions", qi, len(we), len(ge))
+		}
+		for i := range we {
+			if we[i].RID != ge[i].RID || we[i].TID != ge[i].TID {
+				t.Fatalf("query %d emission %d: tuple (%d,%d) vs (%d,%d)",
+					qi, i, we[i].RID, we[i].TID, ge[i].RID, ge[i].TID)
+			}
+			if we[i].Time != ge[i].Time {
+				t.Fatalf("query %d emission %d: timestamp %v vs %v",
+					qi, i, we[i].Time, ge[i].Time)
+			}
+			if len(we[i].Out) != len(ge[i].Out) {
+				t.Fatalf("query %d emission %d: output arity differs", qi, i)
+			}
+			for k := range we[i].Out {
+				if we[i].Out[k] != ge[i].Out[k] {
+					t.Fatalf("query %d emission %d dim %d: %v vs %v",
+						qi, i, k, we[i].Out[k], ge[i].Out[k])
+				}
+			}
+		}
+	}
+	if want.Counters != got.Counters {
+		t.Fatalf("counters differ:\n  serial:   %+v\n  parallel: %+v", want.Counters, got.Counters)
+	}
+	if want.EndTime != got.EndTime {
+		t.Fatalf("end time %v vs %v", want.EndTime, got.EndTime)
+	}
+}
+
+// TestParallelWorkersBitIdentical is the determinism contract of the
+// parallel executor: for every strategy and every data distribution, any
+// worker count must reproduce the Workers:1 report exactly — results,
+// emission order, virtual timestamps, counters and end time. Run with
+// -race, this also shakes out data races in the fan-out.
+func TestParallelWorkersBitIdentical(t *testing.T) {
+	// The parallel path only engages above the probe-count cutoff; at test
+	// scale the per-region probe counts sit below the production default,
+	// so lower it to force every join through the sharded path.
+	defer func(v int) { join.ParallelProbeCutoff = v }(join.ParallelProbeCutoff)
+	join.ParallelProbeCutoff = 1
+
+	dists := []struct {
+		name string
+		d    caqe.Distribution
+	}{
+		{"correlated", caqe.Correlated},
+		{"independent", caqe.Independent},
+		{"anticorrelated", caqe.AntiCorrelated},
+	}
+	w := determinismWorkload()
+	for _, dist := range dists {
+		t.Run(dist.name, func(t *testing.T) {
+			r, tt, err := caqe.GeneratePair(400, 3, dist.d, []float64{0.05, 0.05}, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			totals, err := caqe.GroundTruth(w, r, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range caqe.Strategies() {
+				t.Run(name, func(t *testing.T) {
+					serial, err := caqe.RunStrategyWithWorkers(name, w, r, tt, totals, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					emitted := 0
+					for _, ems := range serial.PerQuery {
+						emitted += len(ems)
+					}
+					if emitted == 0 {
+						t.Fatal("strategy emitted nothing; determinism check is vacuous")
+					}
+					for _, workers := range []int{2, 4} {
+						par, err := caqe.RunStrategyWithWorkers(name, w, r, tt, totals, workers)
+						if err != nil {
+							t.Fatalf("workers=%d: %v", workers, err)
+						}
+						par.Strategy = fmt.Sprintf("%s/w%d", name, workers)
+						requireIdenticalReports(t, serial, par)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestRunOptionsWorkersBitIdentical covers the public Options.Workers knob
+// on the primary entry point (caqe.Run) as well, independent of the
+// strategy table.
+func TestRunOptionsWorkersBitIdentical(t *testing.T) {
+	defer func(v int) { join.ParallelProbeCutoff = v }(join.ParallelProbeCutoff)
+	join.ParallelProbeCutoff = 1
+
+	w := determinismWorkload()
+	r, tt, err := caqe.GeneratePair(400, 3, caqe.Independent, []float64{0.05, 0.05}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := caqe.Run(w, r, tt, caqe.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := caqe.Run(w, r, tt, caqe.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdenticalReports(t, serial, par)
+}

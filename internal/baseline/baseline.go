@@ -16,6 +16,7 @@ import (
 	"caqe/internal/core"
 	"caqe/internal/join"
 	"caqe/internal/metrics"
+	"caqe/internal/parallel"
 	"caqe/internal/run"
 	"caqe/internal/skyline"
 	"caqe/internal/tuple"
@@ -23,10 +24,23 @@ import (
 )
 
 // Options tunes the strategies that use the partitioned/region machinery so
-// they match the CAQE engine's granularity.
+// they match the CAQE engine's granularity. Workers sizes the join worker
+// pool exactly as core.Options.Workers does (default runtime.GOMAXPROCS(0);
+// 1 = serial): any worker count yields reports bit-identical to serial
+// execution. SSMJ and TimeShared interleave their joins with inherently
+// sequential windowed state and always run serially.
 type Options struct {
 	TargetCells    int
 	GridResolution int
+	Workers        int
+}
+
+// pool returns the join worker pool for the configured worker count.
+func (o Options) pool() *parallel.Pool {
+	if o.Workers <= 0 {
+		return parallel.Default()
+	}
+	return parallel.New(o.Workers)
 }
 
 // Strategy is one runnable execution technique.
@@ -42,6 +56,7 @@ func All(opt Options) []Strategy {
 		{Name: "CAQE", Run: func(w *workload.Workload, r, t *tuple.Relation, est []int) (*run.Report, error) {
 			eng, err := core.New(w, r, t, core.Options{
 				TargetCells: opt.TargetCells, GridResolution: opt.GridResolution,
+				Workers: opt.Workers,
 			})
 			if err != nil {
 				return nil, err
@@ -51,7 +66,9 @@ func All(opt Options) []Strategy {
 		{Name: "S-JFSL", Run: func(w *workload.Workload, r, t *tuple.Relation, est []int) (*run.Report, error) {
 			return SJFSL(w, r, t, est, opt)
 		}},
-		{Name: "JFSL", Run: JFSL},
+		{Name: "JFSL", Run: func(w *workload.Workload, r, t *tuple.Relation, est []int) (*run.Report, error) {
+			return jfsl(w, r, t, est, opt.pool())
+		}},
 		{Name: "ProgXe+", Run: func(w *workload.Workload, r, t *tuple.Relation, est []int) (*run.Report, error) {
 			return ProgXe(w, r, t, est, opt)
 		}},
@@ -81,31 +98,38 @@ func toPoints(results []join.Result) []skyline.Point {
 // GroundTruth computes the exact final result set of every query with a
 // full join followed by an SFS skyline, without cost accounting. It returns
 // the per-query skyline results and their cardinalities (the N of Table 2's
-// cardinality contracts).
+// cardinality contracts). The joins and the per-query skylines fan out over
+// all available cores; the oracle carries no clock, and the per-query
+// outputs are position-indexed, so the fan-out cannot perturb the result.
 func GroundTruth(w *workload.Workload, r, t *tuple.Relation) ([][]join.Result, []int, error) {
 	if err := w.Validate(); err != nil {
 		return nil, nil, err
 	}
 	rs, ts := tuplesOf(r), tuplesOf(t)
+	pool := parallel.Default()
 	// Share the join across queries with the same join condition: the
 	// oracle only cares about correctness, not costs.
 	joined := make(map[int][]join.Result)
+	for _, q := range w.Queries {
+		if _, ok := joined[q.JC]; !ok {
+			joined[q.JC] = join.HashJoinPool(w.JoinConds[q.JC], w.OutDims, rs, ts, nil, pool)
+		}
+	}
 	results := make([][]join.Result, len(w.Queries))
 	totals := make([]int, len(w.Queries))
-	for qi, q := range w.Queries {
-		jr, ok := joined[q.JC]
-		if !ok {
-			jr = join.HashJoin(w.JoinConds[q.JC], w.OutDims, rs, ts, nil)
-			joined[q.JC] = jr
+	pool.Run(len(w.Queries), func(_, lo, hi int) {
+		for qi := lo; qi < hi; qi++ {
+			q := w.Queries[qi]
+			jr := joined[q.JC]
+			sky := skyline.SFS(q.Pref, toPoints(jr), nil)
+			out := make([]join.Result, len(sky))
+			for i, p := range sky {
+				out[i] = jr[p.Payload]
+			}
+			results[qi] = out
+			totals[qi] = len(out)
 		}
-		sky := skyline.SFS(q.Pref, toPoints(jr), nil)
-		out := make([]join.Result, len(sky))
-		for i, p := range sky {
-			out[i] = jr[p.Payload]
-		}
-		results[qi] = out
-		totals[qi] = len(out)
-	}
+	})
 	return results, totals, nil
 }
 
@@ -134,6 +158,12 @@ func GroundTruthReport(w *workload.Workload, r, t *tuple.Relation) (*run.Report,
 // finishes — the worst case for progressiveness and, with no sharing, for
 // work (§7.3 reports it needs up to 66× more comparisons than CAQE).
 func JFSL(w *workload.Workload, r, t *tuple.Relation, estTotals []int) (*run.Report, error) {
+	return jfsl(w, r, t, estTotals, parallel.Default())
+}
+
+// jfsl runs JFSL with the full nested-loop joins fanned out over the given
+// pool; the report is bit-identical for any pool size.
+func jfsl(w *workload.Workload, r, t *tuple.Relation, estTotals []int, pool *parallel.Pool) (*run.Report, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
@@ -142,7 +172,7 @@ func JFSL(w *workload.Workload, r, t *tuple.Relation, estTotals []int) (*run.Rep
 	rs, ts := tuplesOf(r), tuplesOf(t)
 	for _, qi := range w.ByPriority() {
 		q := w.Queries[qi]
-		results := join.NestedLoop(w.JoinConds[q.JC], w.OutDims, rs, ts, clock)
+		results := join.NestedLoopPool(w.JoinConds[q.JC], w.OutDims, rs, ts, clock, pool)
 		sky := skyline.BNL(q.Pref, toPoints(results), clock)
 		now := clock.Now() / metrics.VirtualSecond
 		for _, p := range sky {
@@ -164,6 +194,7 @@ func SJFSL(w *workload.Workload, r, t *tuple.Relation, estTotals []int, opt Opti
 	eng, err := core.New(w, r, t, core.Options{
 		TargetCells:            opt.TargetCells,
 		GridResolution:         opt.GridResolution,
+		Workers:                opt.Workers,
 		DataOrderScheduling:    true,
 		DisableRegionDiscard:   true,
 		DisableFeedback:        true,
@@ -197,6 +228,7 @@ func ProgXe(w *workload.Workload, r, t *tuple.Relation, estTotals []int, opt Opt
 		eng, err := core.New(sub, r, t, core.Options{
 			TargetCells:            opt.TargetCells,
 			GridResolution:         opt.GridResolution,
+			Workers:                opt.Workers,
 			DisableContractBenefit: true,
 			DisableFeedback:        true,
 		})

@@ -36,6 +36,7 @@ type Config struct {
 	Seed           int64   // dataset seed
 	TargetCells    int     // quad-tree leaves per relation
 	GridResolution int     // output grid resolution
+	Workers        int     // join worker pool size (0 = all cores; results identical)
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -78,7 +79,7 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) baselineOptions() baseline.Options {
-	return baseline.Options{TargetCells: c.TargetCells, GridResolution: c.GridResolution}
+	return baseline.Options{TargetCells: c.TargetCells, GridResolution: c.GridResolution, Workers: c.Workers}
 }
 
 // ContractClasses lists the Table 2 contract classes in paper order.

@@ -316,7 +316,16 @@ func (t *hybridTracker) Utilities() []float64 {
 	cu := t.card.Utilities()
 	out := make([]float64, len(cu))
 	for i := range cu {
-		out[i] = cu[i] * t.timeUtils[i]
+		// The 1/ts decay only scales down reward. A quota-shortfall
+		// penalty (negative cardinality utility) must pass through
+		// undiluted: multiplying a negative utility by a decay < 1 would
+		// *shrink* the penalty as delivery gets later, rewarding exactly
+		// the behaviour the hybrid contract is meant to punish.
+		if cu[i] < 0 {
+			out[i] = cu[i]
+		} else {
+			out[i] = cu[i] * t.timeUtils[i]
+		}
 	}
 	return out
 }

@@ -164,13 +164,40 @@ func TestHybridUtilitiesAlignWithObservations(t *testing.T) {
 	if len(utils) != 3 {
 		t.Fatalf("got %d utilities", len(utils))
 	}
-	// First tuple: card = 1/2-1 = -0.5, decay 1/2 → -0.25.
-	if math.Abs(utils[0]-(-0.25)) > 1e-12 {
-		t.Fatalf("utils[0] = %g, want -0.25", utils[0])
+	// First tuple: card = 1/2-1 = -0.5; the shortfall penalty is NOT
+	// diluted by the 1/ts decay (a decayed penalty would shrink as
+	// delivery slips later — an inverted incentive).
+	if math.Abs(utils[0]-(-0.5)) > 1e-12 {
+		t.Fatalf("utils[0] = %g, want -0.5", utils[0])
 	}
 	// Second: card 1, decay 1/14.
 	if math.Abs(utils[1]-1.0/14) > 1e-12 {
 		t.Fatalf("utils[1] = %g", utils[1])
+	}
+}
+
+// TestHybridPenaltyNotDecayed pins the C5 incentive direction: for a fixed
+// quota shortfall, the per-tuple utility must be non-increasing in the
+// emission timestamp. Before the fix, the negative shortfall utility was
+// multiplied by the 1/ts decay, so delivering *later* scored *better*.
+func TestHybridPenaltyNotDecayed(t *testing.T) {
+	prev := math.Inf(1)
+	for _, ts := range []float64{2, 5, 8} {
+		c := C5(0.1, 10)
+		tr := c.NewTracker(20) // quota 2/interval; one delivery misses it
+		tr.Observe(ts)
+		tr.Finalize(10)
+		utils := tr.Utilities()
+		if len(utils) != 1 {
+			t.Fatalf("ts=%g: got %d utilities", ts, len(utils))
+		}
+		if utils[0] >= 0 {
+			t.Fatalf("ts=%g: util = %g, want a negative shortfall penalty", ts, utils[0])
+		}
+		if utils[0] > prev {
+			t.Fatalf("ts=%g: util %g > util %g at an earlier ts — later delivery must not score better", ts, utils[0], prev)
+		}
+		prev = utils[0]
 	}
 }
 
@@ -362,7 +389,12 @@ func TestObserveOutOfOrderIntervalsClose(t *testing.T) {
 }
 
 func TestProductGeneralizesC5(t *testing.T) {
-	// Product(C4, 1/ts decay) must equal the built-in hybrid C5.
+	// Product(C4, 1/ts decay) must equal the built-in hybrid C5 whenever
+	// every interval meets its quota (all cardinality utilities
+	// non-negative). On quota shortfalls the two differ by design: Product
+	// multiplies components unconditionally, while C5 exempts the negative
+	// shortfall penalty from the time decay so a late miss is never scored
+	// better than an early one.
 	decay := Func("1/ts", func(ts float64) float64 {
 		if ts <= 1 {
 			return 1
@@ -373,7 +405,7 @@ func TestProductGeneralizesC5(t *testing.T) {
 	c5 := C5(0.1, 10)
 	tp := prod.NewTracker(20)
 	t5 := c5.NewTracker(20)
-	for _, ts := range []float64{2, 4, 14, 16, 25} {
+	for _, ts := range []float64{2, 4, 14, 16, 25, 27} {
 		tp.Observe(ts)
 		t5.Observe(ts)
 	}
@@ -387,6 +419,21 @@ func TestProductGeneralizesC5(t *testing.T) {
 		if math.Abs(up[i]-u5[i]) > 1e-9 {
 			t.Fatalf("utility %d: %g vs %g", i, up[i], u5[i])
 		}
+	}
+
+	// Shortfall divergence: a lone delivery against a quota of 2 carries a
+	// -0.5 penalty; C5 keeps it whole, Product decays it to -0.5/ts.
+	tpMiss := prod.NewTracker(20)
+	t5Miss := c5.NewTracker(20)
+	tpMiss.Observe(5)
+	t5Miss.Observe(5)
+	tpMiss.Finalize(10)
+	t5Miss.Finalize(10)
+	if got := t5Miss.Utilities()[0]; math.Abs(got-(-0.5)) > 1e-12 {
+		t.Fatalf("C5 shortfall utility = %g, want undecayed -0.5", got)
+	}
+	if got := tpMiss.Utilities()[0]; math.Abs(got-(-0.1)) > 1e-12 {
+		t.Fatalf("Product shortfall utility = %g, want decayed -0.5/5", got)
 	}
 }
 

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"caqe/internal/metrics"
 	"caqe/internal/partition"
@@ -19,6 +20,14 @@ import (
 
 // Options tunes the CAQE engine. The zero value selects sensible defaults.
 type Options struct {
+	// Workers is the size of the worker pool for tuple-level join
+	// processing (default runtime.GOMAXPROCS(0); 1 selects the serial
+	// path). Parallel workers charge private counter shards that are merged
+	// back into the virtual clock in deterministic (region, join-condition,
+	// shard) order, so any worker count produces a report bit-identical to
+	// Workers: 1 — same results, same emission timestamps, same counters.
+	// Only wall-clock time changes.
+	Workers int
 	// TargetCells is the desired number of quad-tree leaf cells per input
 	// relation (default 24). More cells mean finer-grained scheduling at
 	// higher coarse-level cost.
@@ -74,6 +83,9 @@ type TraceEvent struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	if o.TargetCells <= 0 {
 		o.TargetCells = 24
 	}

@@ -5,6 +5,7 @@ import (
 
 	"caqe/internal/join"
 	"caqe/internal/metrics"
+	"caqe/internal/parallel"
 	"caqe/internal/preference"
 	"caqe/internal/region"
 	"caqe/internal/run"
@@ -27,6 +28,7 @@ type state struct {
 	e      *Engine
 	w      *workload.Workload
 	clock  *metrics.Clock
+	pool   *parallel.Pool
 	space  *region.Space
 	shared *skycube.SharedSkyline
 	rep    *run.Report
@@ -71,6 +73,7 @@ func newState(e *Engine, clock *metrics.Clock, space *region.Space, shared *skyc
 		e:             e,
 		w:             e.w,
 		clock:         clock,
+		pool:          parallel.New(e.opt.Workers),
 		space:         space,
 		shared:        shared,
 		rep:           rep,
@@ -203,6 +206,11 @@ func (st *state) initQueue() {
 // region's input cells under every relevant join condition, project, and
 // insert each result into the shared min-max cuboid skyline with its cell
 // query lineage. It returns the payload IDs of the generated results.
+//
+// The nested-loop probes fan out over the engine's worker pool; per-worker
+// counter shards are merged back into the clock in (join-condition, shard)
+// order before the serial skyline insertions, so the emitted payload IDs,
+// schedules and timestamps are bit-identical to a 1-worker run.
 func (st *state) processRegion(rc *region.Region) []int {
 	var created []int
 	for j, jc := range st.w.JoinConds {
@@ -210,7 +218,7 @@ func (st *state) processRegion(rc *region.Region) []int {
 		if qmask == 0 {
 			continue
 		}
-		results := join.NestedLoop(jc, st.w.OutDims, rc.RCell.Tuples, rc.TCell.Tuples, st.clock)
+		results := join.NestedLoopPool(jc, st.w.OutDims, rc.RCell.Tuples, rc.TCell.Tuples, st.clock, st.pool)
 		for _, res := range results {
 			payload := len(st.payloads)
 			st.payloads = append(st.payloads, payloadInfo{

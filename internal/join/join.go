@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"caqe/internal/metrics"
+	"caqe/internal/parallel"
 	"caqe/internal/tuple"
 )
 
@@ -151,16 +152,13 @@ func NestedLoop(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics
 }
 
 // HashJoin materializes the same result as NestedLoop using a hash table on
-// the right side. The virtual clock is charged one probe per left tuple
-// (plus one per produced result), reflecting the cheaper per-tuple work of a
-// hash join; baselines that the paper describes as nested-loop style should
-// use NestedLoop to preserve relative costs.
+// the right side. The virtual clock is charged one coarse operation per
+// right tuple inserted during the build, then one probe per left tuple
+// (plus one result cost per produced result), reflecting the cheaper
+// per-tuple work of a hash join; baselines that the paper describes as
+// nested-loop style should use NestedLoop to preserve relative costs.
 func HashJoin(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock) []Result {
-	idx := make(map[int64][]*tuple.Tuple, len(ts))
-	for _, t := range ts {
-		k := t.Key(jc.RightKey)
-		idx[k] = append(idx[k], t)
-	}
+	idx := buildHashIndex(jc, ts, clock)
 	var out []Result
 	for _, r := range rs {
 		if clock != nil {
@@ -172,6 +170,104 @@ func HashJoin(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.C
 			}
 			out = append(out, Result{RID: r.ID, TID: t.ID, Out: Project(fs, r, t)})
 		}
+	}
+	return out
+}
+
+// buildHashIndex builds the right-side hash index of a hash join, charging
+// one coarse operation per inserted tuple. The build is real work that the
+// nested-loop strategies never perform; leaving it free would time-advantage
+// every hash-join strategy's emissions over the NestedLoop ones.
+func buildHashIndex(jc EquiJoin, ts []*tuple.Tuple, clock *metrics.Clock) map[int64][]*tuple.Tuple {
+	idx := make(map[int64][]*tuple.Tuple, len(ts))
+	for _, t := range ts {
+		if clock != nil {
+			clock.CountCellOp(1)
+		}
+		idx[t.Key(jc.RightKey)] = append(idx[t.Key(jc.RightKey)], t)
+	}
+	return idx
+}
+
+// ---------------------------------------------------------------------------
+// Parallel variants
+//
+// The parallel joins shard the *left* input into contiguous ranges, run the
+// serial algorithm per shard with a private clock, and then fold the shards
+// back in ascending shard order: results are concatenated (reproducing the
+// serial output order exactly) and each shard's counters are merged into
+// the caller's clock (reproducing the serial clock exactly — see
+// metrics.Clock.Merge). A run with a multi-worker pool is therefore
+// bit-identical to the serial functions above, including every virtual
+// timestamp derived downstream.
+
+// ParallelProbeCutoff is the minimum number of candidate pairs
+// (len(rs)·len(ts)) below which the parallel join variants fall back to the
+// serial path: fanning a tiny join out over goroutines costs more than it
+// saves. The cutoff only gates a performance choice — output and clock are
+// identical either way. Tests lower it to force the parallel path on small
+// inputs.
+var ParallelProbeCutoff = 4096
+
+// NestedLoopPool is NestedLoop fanned out over a worker pool. With a nil or
+// 1-worker pool, or below ParallelProbeCutoff candidate pairs, it is the
+// serial NestedLoop.
+func NestedLoopPool(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock, pool *parallel.Pool) []Result {
+	if pool.Workers() <= 1 || len(rs)*len(ts) < ParallelProbeCutoff {
+		return NestedLoop(jc, fs, rs, ts, clock)
+	}
+	shards := pool.Shards(len(rs))
+	outs := make([][]Result, len(shards))
+	subs := make([]metrics.Counters, len(shards))
+	pool.Run(len(rs), func(i, lo, hi int) {
+		sub := metrics.NewClock()
+		outs[i] = NestedLoop(jc, fs, rs[lo:hi], ts, sub)
+		subs[i] = sub.Counters()
+	})
+	return foldShards(outs, subs, clock)
+}
+
+// HashJoinPool is HashJoin fanned out over a worker pool: the right-side
+// index is built once serially (charged as in HashJoin), then the left-side
+// probes are sharded. Falls back to the serial HashJoin under the same
+// conditions as NestedLoopPool.
+func HashJoinPool(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock, pool *parallel.Pool) []Result {
+	if pool.Workers() <= 1 || len(rs)*len(ts) < ParallelProbeCutoff {
+		return HashJoin(jc, fs, rs, ts, clock)
+	}
+	idx := buildHashIndex(jc, ts, clock)
+	shards := pool.Shards(len(rs))
+	outs := make([][]Result, len(shards))
+	subs := make([]metrics.Counters, len(shards))
+	pool.Run(len(rs), func(i, lo, hi int) {
+		sub := metrics.NewClock()
+		var out []Result
+		for _, r := range rs[lo:hi] {
+			sub.CountJoinProbe(1)
+			for _, t := range idx[r.Key(jc.LeftKey)] {
+				sub.CountJoinResult(1)
+				out = append(out, Result{RID: r.ID, TID: t.ID, Out: Project(fs, r, t)})
+			}
+		}
+		outs[i] = out
+		subs[i] = sub.Counters()
+	})
+	return foldShards(outs, subs, clock)
+}
+
+// foldShards combines per-shard results and counters in ascending shard
+// order, reproducing the serial output order and clock state.
+func foldShards(outs [][]Result, subs []metrics.Counters, clock *metrics.Clock) []Result {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	out := make([]Result, 0, total)
+	for i := range outs {
+		if clock != nil {
+			clock.Merge(subs[i])
+		}
+		out = append(out, outs[i]...)
 	}
 	return out
 }

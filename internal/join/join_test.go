@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"caqe/internal/metrics"
+	"caqe/internal/parallel"
 	"caqe/internal/tuple"
 )
 
@@ -204,6 +205,115 @@ func TestHashJoinAccounting(t *testing.T) {
 	if c.JoinResults != int64(len(out)) {
 		t.Errorf("results counter %d != %d materialized", c.JoinResults, len(out))
 	}
+	if c.CellOps != 17 {
+		t.Errorf("build cell ops = %d, want 17 (one per right tuple inserted)", c.CellOps)
+	}
+}
+
+// TestHashJoinBuildNotFree pins the relative cost of the two join
+// algorithms: the hash index build must be charged to the virtual clock
+// (one coarse op per right tuple), so a hash join is cheaper than the
+// nested loop by its probe savings but strictly more expensive than a
+// fictitious build-free hash join. Before the fix, strategies using
+// HashJoin got the index for free and their emission timestamps were
+// unfairly early relative to NestedLoop.
+func TestHashJoinBuildNotFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	rs := mkTuples(rng, 40, 1, 1, 8)
+	ts := mkTuples(rng, 30, 1, 1, 8)
+	jc := EquiJoin{Name: "JC", LeftKey: 0, RightKey: 0}
+	fs := []MapFunc{Sum("x", 0)}
+
+	nl := metrics.NewClock()
+	NestedLoop(jc, fs, rs, ts, nl)
+	hj := metrics.NewClock()
+	HashJoin(jc, fs, rs, ts, hj)
+
+	buildCost := 30 * metrics.CostCellProbe
+	probeSavings := float64(40*30-40) * metrics.CostJoinProbe
+	if got := nl.Now() - hj.Now(); got != probeSavings-buildCost {
+		t.Fatalf("cost gap nested-loop minus hash = %g, want probe savings %g minus build %g",
+			got, probeSavings, buildCost)
+	}
+	if hj.Counters().CellOps == 0 {
+		t.Fatal("hash build charged nothing")
+	}
+}
+
+// requireSameResults asserts two result slices are identical element-wise,
+// including order.
+func requireSameResults(t *testing.T, label string, a, b []Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d vs %d results", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].RID != b[i].RID || a[i].TID != b[i].TID {
+			t.Fatalf("%s: result %d differs: %+v vs %+v", label, i, a[i], b[i])
+		}
+		for k := range a[i].Out {
+			if a[i].Out[k] != b[i].Out[k] {
+				t.Fatalf("%s: result %d output differs: %v vs %v", label, i, a[i].Out, b[i].Out)
+			}
+		}
+	}
+}
+
+// TestPoolJoinsBitIdenticalToSerial: the parallel variants must produce the
+// serial result order and the serial clock state exactly, for any worker
+// count, including when the clock starts at a fractional virtual time.
+func TestPoolJoinsBitIdenticalToSerial(t *testing.T) {
+	defer func(old int) { ParallelProbeCutoff = old }(ParallelProbeCutoff)
+	ParallelProbeCutoff = 1 // force the parallel path even on small inputs
+
+	rng := rand.New(rand.NewSource(7))
+	rs := mkTuples(rng, 83, 2, 1, 6)
+	ts := mkTuples(rng, 61, 2, 1, 6)
+	jc := EquiJoin{Name: "JC", LeftKey: 0, RightKey: 0}
+	fs := []MapFunc{Sum("x", 0), Sum("y", 1)}
+
+	serialNL := metrics.NewClock()
+	serialNL.CountCellOp(7) // fractional starting time
+	wantNL := NestedLoop(jc, fs, rs, ts, serialNL)
+	serialHJ := metrics.NewClock()
+	serialHJ.CountCellOp(7)
+	wantHJ := HashJoin(jc, fs, rs, ts, serialHJ)
+
+	for _, workers := range []int{1, 2, 3, 4, 16} {
+		pool := parallel.New(workers)
+		clk := metrics.NewClock()
+		clk.CountCellOp(7)
+		got := NestedLoopPool(jc, fs, rs, ts, clk, pool)
+		requireSameResults(t, "nested-loop", wantNL, got)
+		if clk.Now() != serialNL.Now() || clk.Counters() != serialNL.Counters() {
+			t.Fatalf("nested-loop workers=%d: clock %v/%+v, want %v/%+v",
+				workers, clk.Now(), clk.Counters(), serialNL.Now(), serialNL.Counters())
+		}
+
+		clk = metrics.NewClock()
+		clk.CountCellOp(7)
+		got = HashJoinPool(jc, fs, rs, ts, clk, pool)
+		requireSameResults(t, "hash", wantHJ, got)
+		if clk.Now() != serialHJ.Now() || clk.Counters() != serialHJ.Counters() {
+			t.Fatalf("hash workers=%d: clock %v/%+v, want %v/%+v",
+				workers, clk.Now(), clk.Counters(), serialHJ.Now(), serialHJ.Counters())
+		}
+	}
+}
+
+func TestPoolJoinsNilClock(t *testing.T) {
+	defer func(old int) { ParallelProbeCutoff = old }(ParallelProbeCutoff)
+	ParallelProbeCutoff = 1
+	rng := rand.New(rand.NewSource(8))
+	rs := mkTuples(rng, 30, 1, 1, 4)
+	ts := mkTuples(rng, 30, 1, 1, 4)
+	jc := EquiJoin{Name: "JC", LeftKey: 0, RightKey: 0}
+	fs := []MapFunc{Sum("x", 0)}
+	want := NestedLoop(jc, fs, rs, ts, nil)
+	requireSameResults(t, "nil-clock nested-loop", want,
+		NestedLoopPool(jc, fs, rs, ts, nil, parallel.New(4)))
+	requireSameResults(t, "nil-clock hash", want,
+		HashJoinPool(jc, fs, rs, ts, nil, parallel.New(4)))
 }
 
 func TestEquiJoinString(t *testing.T) {

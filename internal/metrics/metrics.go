@@ -9,6 +9,17 @@
 // therefore advance a virtual clock by a fixed cost per elementary operation:
 // join-pair probes, skyline dominance comparisons, and tuple emissions. All
 // contract parameters are expressed in the same virtual time unit.
+//
+// # Determinism contract
+//
+// The clock accumulates time as an exact integer count of deci-units (one
+// tenth of a virtual unit), of which every operation cost is a whole
+// multiple. Integer addition is associative and exact, so the clock reading
+// after a set of counted operations depends only on the operation *totals* —
+// never on the order they were counted in, and never on floating-point
+// rounding. This is what allows parallel executors to tally work on private
+// Counters shards and Merge them back: the merged clock is bit-identical to
+// a serial run that performed the same operations one at a time.
 package metrics
 
 import "fmt"
@@ -21,6 +32,18 @@ const (
 	CostSkylineCmp = 1.0 // one pairwise dominance comparison
 	CostEmit       = 0.5 // reporting one result tuple to a consumer
 	CostCellProbe  = 0.2 // one coarse (cell- or region-level) operation
+)
+
+// Integer operation costs in clock deci-units (tenths of a virtual unit).
+// Every Cost* constant above is a whole number of deci-units, which is what
+// keeps the clock exact (see the package comment).
+const (
+	deciJoinProbe  = 10
+	deciJoinResult = 20
+	deciSkylineCmp = 10
+	deciEmit       = 5
+	deciCellProbe  = 2
+	deciPerUnit    = 10
 )
 
 // VirtualSecond is the number of virtual time units per "second" used when
@@ -52,6 +75,22 @@ func (c *Counters) Add(o Counters) {
 	c.CuboidSubspace += o.CuboidSubspace
 }
 
+// cost returns the total virtual-time cost of the counted operations in
+// exact integer deci-units. Region and cuboid bookkeeping counters carry no
+// time cost, mirroring the per-operation Count methods of Clock.
+func (c Counters) cost() int64 {
+	return c.JoinProbes*deciJoinProbe +
+		c.JoinResults*deciJoinResult +
+		c.SkylineCmps*deciSkylineCmp +
+		c.CellOps*deciCellProbe +
+		c.TuplesEmitted*deciEmit
+}
+
+// Cost returns the total virtual-time cost of the counted operations in
+// virtual units — the amount a clock advances when these operations are
+// merged into it.
+func (c Counters) Cost() float64 { return float64(c.cost()) / deciPerUnit }
+
 // String renders the counters in a compact single line.
 func (c *Counters) String() string {
 	return fmt.Sprintf("joinProbes=%d joinResults=%d skylineCmps=%d cellOps=%d emitted=%d regions(done=%d pruned=%d)",
@@ -60,56 +99,74 @@ func (c *Counters) String() string {
 
 // Clock is the deterministic virtual clock. It is advanced explicitly by the
 // executors as they perform counted work, so two runs of the same strategy on
-// the same input always produce identical timestamps.
+// the same input always produce identical timestamps. Time is held as an
+// exact integer count of deci-units; see the package comment for why that
+// makes clock readings independent of counting order and batching.
+//
+// A Clock is not safe for concurrent use. Parallel executors give each
+// worker a private Clock (or Counters) shard and Merge the shards back in a
+// deterministic order.
 type Clock struct {
-	now      float64
+	deci     int64 // current time in deci-units (tenths of a virtual unit)
 	counters Counters
 }
 
 // NewClock returns a clock at virtual time zero.
 func NewClock() *Clock { return &Clock{} }
 
-// Now returns the current virtual time.
-func (k *Clock) Now() float64 { return k.now }
+// Now returns the current virtual time in virtual units.
+func (k *Clock) Now() float64 { return float64(k.deci) / deciPerUnit }
 
-// Advance moves the clock forward by d virtual units. Negative d is ignored.
+// Advance moves the clock forward by d virtual units, rounded to the nearest
+// deci-unit. Negative d is ignored.
 func (k *Clock) Advance(d float64) {
 	if d > 0 {
-		k.now += d
+		k.deci += int64(d*deciPerUnit + 0.5)
 	}
 }
 
 // Counters returns a snapshot of the operation counters.
 func (k *Clock) Counters() Counters { return k.counters }
 
+// Merge folds a privately-accumulated counter shard into the clock:
+// counters are added and the clock advances by the shard's exact integer
+// cost. Because clock time is integral, merging shards — in any order —
+// yields a clock bit-identical to having counted the same operations one by
+// one on this clock. This is the substrate of the parallel executors'
+// determinism guarantee.
+func (k *Clock) Merge(c Counters) {
+	k.counters.Add(c)
+	k.deci += c.cost()
+}
+
 // CountJoinProbe records n candidate-pair evaluations.
 func (k *Clock) CountJoinProbe(n int64) {
 	k.counters.JoinProbes += n
-	k.now += float64(n) * CostJoinProbe
+	k.deci += n * deciJoinProbe
 }
 
 // CountJoinResult records n materialized join results.
 func (k *Clock) CountJoinResult(n int64) {
 	k.counters.JoinResults += n
-	k.now += float64(n) * CostJoinResult
+	k.deci += n * deciJoinResult
 }
 
 // CountSkylineCmp records n pairwise dominance comparisons.
 func (k *Clock) CountSkylineCmp(n int64) {
 	k.counters.SkylineCmps += n
-	k.now += float64(n) * CostSkylineCmp
+	k.deci += n * deciSkylineCmp
 }
 
 // CountCellOp records n coarse-granularity operations.
 func (k *Clock) CountCellOp(n int64) {
 	k.counters.CellOps += n
-	k.now += float64(n) * CostCellProbe
+	k.deci += n * deciCellProbe
 }
 
 // CountEmit records n emitted result tuples.
 func (k *Clock) CountEmit(n int64) {
 	k.counters.TuplesEmitted += n
-	k.now += float64(n) * CostEmit
+	k.deci += n * deciEmit
 }
 
 // CountRegionDone records completion of tuple-level processing of a region.

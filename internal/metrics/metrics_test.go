@@ -78,6 +78,71 @@ func TestCountersString(t *testing.T) {
 	}
 }
 
+func TestDeciCostsMatchFloatCosts(t *testing.T) {
+	// The integer deci-unit costs driving the clock must agree with the
+	// exported float cost constants used by the estimators.
+	cases := []struct {
+		name string
+		deci int64
+		cost float64
+	}{
+		{"probe", deciJoinProbe, CostJoinProbe},
+		{"result", deciJoinResult, CostJoinResult},
+		{"cmp", deciSkylineCmp, CostSkylineCmp},
+		{"emit", deciEmit, CostEmit},
+		{"cellop", deciCellProbe, CostCellProbe},
+	}
+	for _, c := range cases {
+		if float64(c.deci) != c.cost*deciPerUnit {
+			t.Errorf("%s: deci cost %d != %g units", c.name, c.deci, c.cost)
+		}
+	}
+}
+
+func TestMergeEqualsSerialCounting(t *testing.T) {
+	// A clock that merges counter shards must be bit-identical to one that
+	// counted the same operations one at a time, regardless of how the work
+	// is split — the parallel executors' determinism guarantee.
+	serial := NewClock()
+	serial.CountCellOp(3) // leave a fractional time before the shard work
+	for i := 0; i < 1000; i++ {
+		serial.CountJoinProbe(1)
+	}
+	for i := 0; i < 77; i++ {
+		serial.CountJoinResult(1)
+	}
+	for i := 0; i < 13; i++ {
+		serial.CountEmit(1)
+	}
+
+	merged := NewClock()
+	merged.CountCellOp(3)
+	shards := []Counters{
+		{JoinProbes: 400, JoinResults: 10, TuplesEmitted: 5},
+		{JoinProbes: 350, JoinResults: 60},
+		{JoinProbes: 250, JoinResults: 7, TuplesEmitted: 8},
+	}
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+
+	if serial.Now() != merged.Now() {
+		t.Fatalf("merged clock %v != serial clock %v", merged.Now(), serial.Now())
+	}
+	if serial.Counters() != merged.Counters() {
+		t.Fatalf("merged counters %+v != serial %+v", merged.Counters(), serial.Counters())
+	}
+}
+
+func TestCountersCost(t *testing.T) {
+	c := Counters{JoinProbes: 10, JoinResults: 2, SkylineCmps: 3, CellOps: 4, TuplesEmitted: 5,
+		RegionsDone: 9, RegionsPruned: 9, CuboidSubspace: 9} // bookkeeping: no cost
+	want := 10*CostJoinProbe + 2*CostJoinResult + 3*CostSkylineCmp + 4*CostCellProbe + 5*CostEmit
+	if got := c.Cost(); got != want {
+		t.Fatalf("Cost() = %g, want %g", got, want)
+	}
+}
+
 func TestVirtualSecondScale(t *testing.T) {
 	// A contract expressed in seconds must correspond to a large number of
 	// elementary operations; the exact constant is a free choice but must

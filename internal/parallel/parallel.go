@@ -1,0 +1,91 @@
+// Package parallel is the deterministic fan-out substrate of the engine:
+// a fixed-size worker pool that splits an index range into contiguous
+// shards, runs one task per shard, and leaves the *combination* of shard
+// outputs to the caller.
+//
+// Determinism is by construction, not by locking. A shard sees only its own
+// contiguous input range and writes only to its own slot of a pre-allocated
+// output slice; the caller then folds shard results in ascending shard
+// order. Because the sharding of n items into w workers is a pure function
+// of (n, w), and the fold order is fixed, the combined output — including
+// the merged metrics.Counters and therefore every virtual timestamp — is
+// bit-identical across runs and identical to a serial execution of the same
+// work (see metrics.Clock.Merge for the clock half of that argument).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool fans deterministic work out over a fixed number of workers. A nil
+// *Pool is valid and means "serial" (one worker).
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given size. Sizes below 1 are clamped to 1; a
+// 1-worker pool runs everything on the calling goroutine.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Default returns a pool sized to runtime.GOMAXPROCS(0).
+func Default() *Pool { return New(runtime.GOMAXPROCS(0)) }
+
+// Workers returns the pool size; 1 for a nil pool.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Shard is one contiguous index range [Lo, Hi).
+type Shard struct{ Lo, Hi int }
+
+// Shards splits [0, n) into at most Workers() contiguous near-equal ranges.
+// The split is a pure function of (n, workers): shard i of k covers
+// [i*n/k, (i+1)*n/k). Empty inputs yield no shards.
+func (p *Pool) Shards(n int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	k := p.Workers()
+	if k > n {
+		k = n
+	}
+	out := make([]Shard, k)
+	for i := 0; i < k; i++ {
+		out[i] = Shard{Lo: i * n / k, Hi: (i + 1) * n / k}
+	}
+	return out
+}
+
+// Run executes fn once per shard of [0, n), concurrently on up to
+// Workers() goroutines, and returns when every shard is done. fn receives
+// the shard index (for indexing a pre-allocated result slot) and the
+// shard's range. With one worker (or one shard) fn runs on the calling
+// goroutine with no synchronization overhead.
+func (p *Pool) Run(n int, fn func(shard, lo, hi int)) {
+	shards := p.Shards(n)
+	if len(shards) <= 1 {
+		for i, s := range shards {
+			fn(i, s.Lo, s.Hi)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(shards) - 1)
+	for i := 1; i < len(shards); i++ {
+		go func(i int, s Shard) {
+			defer wg.Done()
+			fn(i, s.Lo, s.Hi)
+		}(i, shards[i])
+	}
+	fn(0, shards[0].Lo, shards[0].Hi) // first shard on the caller
+	wg.Wait()
+}

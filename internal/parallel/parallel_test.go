@@ -1,0 +1,91 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestShardsCoverRangeExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, 3, 5, 16, 17, 100} {
+			shards := p.Shards(n)
+			if n == 0 {
+				if len(shards) != 0 {
+					t.Fatalf("w=%d n=0: got %v", workers, shards)
+				}
+				continue
+			}
+			if len(shards) > workers || len(shards) > n {
+				t.Fatalf("w=%d n=%d: %d shards", workers, n, len(shards))
+			}
+			next := 0
+			for _, s := range shards {
+				if s.Lo != next || s.Hi < s.Lo {
+					t.Fatalf("w=%d n=%d: bad shard %v (want Lo=%d)", workers, n, s, next)
+				}
+				next = s.Hi
+			}
+			if next != n {
+				t.Fatalf("w=%d n=%d: shards end at %d", workers, n, next)
+			}
+		}
+	}
+}
+
+func TestShardsArePureFunctionOfInputs(t *testing.T) {
+	a := New(4).Shards(17)
+	b := New(4).Shards(17)
+	if len(a) != len(b) {
+		t.Fatal("shard counts differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		n := 1000
+		seen := make([]int32, n)
+		p.Run(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("w=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", p.Workers())
+	}
+	calls := 0
+	p.Run(10, func(shard, lo, hi int) {
+		calls++
+		if shard != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("nil pool shard %d [%d,%d)", shard, lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("nil pool ran %d shards", calls)
+	}
+}
+
+func TestNewClampsToOne(t *testing.T) {
+	if New(0).Workers() != 1 || New(-5).Workers() != 1 {
+		t.Fatal("New should clamp worker count to >= 1")
+	}
+	if Default().Workers() < 1 {
+		t.Fatal("Default pool must have at least one worker")
+	}
+}

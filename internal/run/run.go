@@ -170,9 +170,12 @@ type TimelinePoint struct {
 
 // SatisfactionTimeline samples how the workload's average satisfaction and
 // delivered-result count evolve over the run, at `samples` evenly spaced
-// instants from 0 to EndTime. It replays the emissions through fresh
-// trackers, so it is valid only after Finish. Useful for plotting the
-// progressiveness profile the paper's figures summarize into a single
+// instants from 0 to EndTime. It replays the emissions through one set of
+// fresh trackers in a single incremental pass — each emission is observed
+// exactly once, and each sample reads the trackers' provisional scores,
+// which for every built-in contract equal the scores a finalize-at-cut
+// replay would produce. It is valid only after Finish. Useful for plotting
+// the progressiveness profile the paper's figures summarize into a single
 // number.
 func (r *Report) SatisfactionTimeline(w *workload.Workload, estTotals []int, samples int) []TimelinePoint {
 	if samples < 1 {
@@ -185,32 +188,32 @@ func (r *Report) SatisfactionTimeline(w *workload.Workload, estTotals []int, sam
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
 
+	trackers := make([]contract.Tracker, len(w.Queries))
+	for qi, q := range w.Queries {
+		est := 0
+		if estTotals != nil {
+			est = estTotals[qi]
+		}
+		trackers[qi] = q.Contract.NewTracker(est)
+	}
+
 	out := make([]TimelinePoint, 0, samples)
+	next := 0 // emissions[:next] have been observed
 	for s := 1; s <= samples; s++ {
 		cut := r.EndTime * float64(s) / float64(samples)
-		trackers := make([]contract.Tracker, len(w.Queries))
-		for qi, q := range w.Queries {
-			est := 0
-			if estTotals != nil {
-				est = estTotals[qi]
+		for next < len(all) && all[next].Time <= cut {
+			trackers[all[next].Query].Observe(all[next].Time)
+			next++
+		}
+		sat := 0.0
+		if len(trackers) > 0 {
+			sum := 0.0
+			for _, tr := range trackers {
+				sum += contract.AvgSatisfaction(tr)
 			}
-			trackers[qi] = q.Contract.NewTracker(est)
+			sat = sum / float64(len(trackers))
 		}
-		delivered := 0
-		for _, e := range all {
-			if e.Time > cut {
-				break
-			}
-			trackers[e.Query].Observe(e.Time)
-			delivered++
-		}
-		sum, n := 0.0, 0
-		for _, tr := range trackers {
-			tr.Finalize(cut)
-			sum += contract.AvgSatisfaction(tr)
-			n++
-		}
-		out = append(out, TimelinePoint{Time: cut, Delivered: delivered, Satisfaction: sum / float64(n)})
+		out = append(out, TimelinePoint{Time: cut, Delivered: next, Satisfaction: sat})
 	}
 	return out
 }

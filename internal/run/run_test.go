@@ -1,6 +1,8 @@
 package run
 
 import (
+	"math"
+	"sort"
 	"testing"
 
 	"caqe/internal/contract"
@@ -174,5 +176,103 @@ func TestSatisfactionTimelineSingleSample(t *testing.T) {
 	tl := rep.SatisfactionTimeline(w, nil, 0) // clamped to 1
 	if len(tl) != 1 || tl[0].Delivered != 1 {
 		t.Fatalf("timeline = %v", tl)
+	}
+}
+
+// TestSatisfactionTimelineNoQueries guards the zero-query division: the
+// timeline must report satisfaction 0, not NaN.
+func TestSatisfactionTimelineNoQueries(t *testing.T) {
+	w := &workload.Workload{
+		JoinConds: []join.EquiJoin{{Name: "JC1"}},
+		OutDims:   []join.MapFunc{join.Sum("x0", 0)},
+	}
+	rep := NewReport("X", w, nil)
+	rep.Finish(10, metrics.Counters{})
+	for _, p := range rep.SatisfactionTimeline(w, nil, 4) {
+		if math.IsNaN(p.Satisfaction) || p.Satisfaction != 0 {
+			t.Fatalf("sample at %g: satisfaction = %v, want 0", p.Time, p.Satisfaction)
+		}
+	}
+}
+
+// replayTimeline is the previous O(samples·emissions·queries)
+// implementation of SatisfactionTimeline — fresh trackers replayed from
+// scratch and finalized per sample cut. The incremental single-pass version
+// must match it exactly.
+func replayTimeline(r *Report, w *workload.Workload, estTotals []int, samples int) []TimelinePoint {
+	var all []Emission
+	for _, ems := range r.PerQuery {
+		all = append(all, ems...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Time < all[j].Time })
+	out := make([]TimelinePoint, 0, samples)
+	for s := 1; s <= samples; s++ {
+		cut := r.EndTime * float64(s) / float64(samples)
+		trackers := make([]contract.Tracker, len(w.Queries))
+		for qi, q := range w.Queries {
+			est := 0
+			if estTotals != nil {
+				est = estTotals[qi]
+			}
+			trackers[qi] = q.Contract.NewTracker(est)
+		}
+		delivered := 0
+		for _, e := range all {
+			if e.Time > cut {
+				break
+			}
+			trackers[e.Query].Observe(e.Time)
+			delivered++
+		}
+		sum := 0.0
+		for _, tr := range trackers {
+			tr.Finalize(cut)
+			sum += contract.AvgSatisfaction(tr)
+		}
+		out = append(out, TimelinePoint{Time: cut, Delivered: delivered, Satisfaction: sum / float64(len(trackers))})
+	}
+	return out
+}
+
+// TestSatisfactionTimelineMatchesReplay checks the incremental pass against
+// the brute-force per-sample replay across every built-in contract class,
+// including the cardinality ones whose trackers carry open-interval state.
+func TestSatisfactionTimelineMatchesReplay(t *testing.T) {
+	w := &workload.Workload{
+		JoinConds: []join.EquiJoin{{Name: "JC1", LeftKey: 0, RightKey: 0}},
+		OutDims:   []join.MapFunc{join.Sum("x0", 0), join.Sum("x1", 1)},
+		Queries: []workload.Query{
+			{Name: "Q1", Pref: preference.NewSubspace(0), Priority: 1, Contract: contract.C1(12)},
+			{Name: "Q2", Pref: preference.NewSubspace(0), Priority: 1, Contract: contract.C2()},
+			{Name: "Q3", Pref: preference.NewSubspace(1), Priority: 1, Contract: contract.C3(8)},
+			{Name: "Q4", Pref: preference.NewSubspace(0, 1), Priority: 1, Contract: contract.C4(0.3, 5)},
+			{Name: "Q5", Pref: preference.NewSubspace(0, 1), Priority: 1, Contract: contract.C5(0.3, 5)},
+		},
+	}
+	totals := []int{6, 6, 6, 6, 6}
+	rep := NewReport("X", w, totals)
+	// Uneven emission pattern: bursts, gaps, quota misses, ties on sample
+	// cuts.
+	times := []float64{0.5, 1, 2, 2, 3.75, 4, 6, 7.5, 11, 14, 14, 19}
+	for i, ts := range times {
+		rep.Emit(Emission{Query: i % len(w.Queries), RID: i, TID: i, Time: ts})
+	}
+	rep.Finish(20, metrics.Counters{})
+
+	for _, samples := range []int{1, 3, 8, 40} {
+		got := rep.SatisfactionTimeline(w, totals, samples)
+		want := replayTimeline(rep, w, totals, samples)
+		if len(got) != len(want) {
+			t.Fatalf("samples=%d: %d points, want %d", samples, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Time != want[i].Time || got[i].Delivered != want[i].Delivered {
+				t.Fatalf("samples=%d point %d: got %+v, want %+v", samples, i, got[i], want[i])
+			}
+			if math.Abs(got[i].Satisfaction-want[i].Satisfaction) > 1e-12 {
+				t.Fatalf("samples=%d point %d: satisfaction %g, want %g",
+					samples, i, got[i].Satisfaction, want[i].Satisfaction)
+			}
+		}
 	}
 }

@@ -17,11 +17,13 @@ package topk
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"caqe/internal/contract"
 	"caqe/internal/join"
 	"caqe/internal/metrics"
+	"caqe/internal/parallel"
 	"caqe/internal/partition"
 	"caqe/internal/run"
 	"caqe/internal/tuple"
@@ -100,6 +102,10 @@ func (q *Query) Score(out []float64) float64 {
 type Options struct {
 	TargetCells    int
 	GridResolution int // reserved; top-k needs no output grid
+	// Workers sizes the join worker pool (default runtime.GOMAXPROCS(0);
+	// 1 = serial). As in the skyline engine, any worker count produces
+	// reports bit-identical to serial execution.
+	Workers int
 	// DataOrder disables benefit-driven scheduling (ablation / shared
 	// blind pipeline).
 	DataOrder bool
@@ -108,6 +114,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.TargetCells <= 0 {
 		o.TargetCells = 24
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
 	}
 	return o
 }
@@ -149,7 +158,7 @@ func Run(w *Workload, r, t *tuple.Relation, opt Options, estTotals []int) (*run.
 	}
 
 	e := &engine{
-		w: w, opt: opt, clock: clock, rep: rep,
+		w: w, opt: opt, clock: clock, pool: parallel.New(opt.Workers), rep: rep,
 		kth:     make([]float64, len(w.Queries)),
 		top:     make([][]result, len(w.Queries)),
 		emitted: make([]int, len(w.Queries)),
@@ -170,6 +179,7 @@ type engine struct {
 	w     *Workload
 	opt   Options
 	clock *metrics.Clock
+	pool  *parallel.Pool
 	rep   *run.Report
 
 	regions []*tkRegion
@@ -305,7 +315,7 @@ func (e *engine) processRegion(reg *tkRegion) {
 		if !used {
 			continue
 		}
-		results := join.NestedLoop(e.w.JoinConds[j], e.w.OutDims, reg.rc.Tuples, reg.tc.Tuples, e.clock)
+		results := join.NestedLoopPool(e.w.JoinConds[j], e.w.OutDims, reg.rc.Tuples, reg.tc.Tuples, e.clock, e.pool)
 		for _, res := range results {
 			for qi := range e.w.Queries {
 				if !reg.alive[qi] || e.w.Queries[qi].JC != j {
@@ -472,7 +482,7 @@ func Sequential(w *Workload, r, t *tuple.Relation, estTotals []int) (*run.Report
 	}
 	for _, qi := range order {
 		q := &w.Queries[qi]
-		results := join.NestedLoop(w.JoinConds[q.JC], w.OutDims, rs, ts, clock)
+		results := join.NestedLoopPool(w.JoinConds[q.JC], w.OutDims, rs, ts, clock, parallel.Default())
 		cands := make([]result, len(results))
 		for i, res := range results {
 			cands[i] = result{score: q.Score(res.Out), rid: res.RID, tid: res.TID, out: res.Out}
