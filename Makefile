@@ -13,9 +13,13 @@ vet:
 test:
 	go test ./...
 
-# Reduced-scale benchmarks for every paper figure plus micro/ablation benches.
+# Reduced-scale benchmarks for every paper figure plus micro/ablation
+# benches. The raw `go test` output is preserved on stdout/BENCH_results.txt
+# and also distilled into machine-readable BENCH_results.json
+# (name, iterations, ns/op, B/op, allocs/op) for trend tracking.
 bench:
-	go test -bench=. -benchmem ./...
+	go test -bench=. -benchmem ./... | tee BENCH_results.txt
+	go run ./cmd/benchjson < BENCH_results.txt > BENCH_results.json
 
 # Full-scale tables for every figure of the paper's evaluation (§7).
 figures:

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: caqe
+BenchmarkStrategyCAQE/anti-8         	       5	 202000000 ns/op	36000000 B/op	  270000 allocs/op
+BenchmarkStrategyCAQE/independent-8  	      10	 100000000 ns/op
+BenchmarkKernelD2-8                  	1000000000	         0.5 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	caqe	10.123s
+not a benchmark line
+Benchmark_bad_iters	abc	1 ns/op
+`
+	results, err := parse(bufio.NewScanner(strings.NewReader(input)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkStrategyCAQE/anti-8" || r.Iterations != 5 ||
+		r.NsPerOp != 202000000 || r.BytesPerOp != 36000000 || r.AllocsPerOp != 270000 {
+		t.Fatalf("bad first record: %+v", r)
+	}
+	if results[1].BytesPerOp != 0 || results[1].AllocsPerOp != 0 {
+		t.Fatalf("missing -benchmem columns should stay zero: %+v", results[1])
+	}
+	if results[2].NsPerOp != 0.5 {
+		t.Fatalf("fractional ns/op not parsed: %+v", results[2])
+	}
+}

@@ -7,13 +7,15 @@
 //
 //	caqe-bench [-fig 9a|9b|9c|10|10a|10b|10c|11a|11b|all] [-n rows]
 //	           [-queries k] [-dims d] [-sel σ] [-seed s] [-cells c]
-//	           [-workers w]
+//	           [-workers w] [-cpuprofile file] [-memprofile file]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"caqe/internal/bench"
@@ -22,14 +24,16 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 10, 10a, 10b, 10c, 11a, 11b, sweepN, sweepD, sweepSel, or all")
-		n       = flag.Int("n", 0, "rows per relation (default 1200; paper used 500000)")
-		queries = flag.Int("queries", 0, "workload size |S_Q| (default 11)")
-		dims    = flag.Int("dims", 0, "output dimensionality d (default 4)")
-		sel     = flag.Float64("sel", 0, "join selectivity σ (default 0.01)")
-		seed    = flag.Int64("seed", 0, "dataset seed (default 2014)")
-		cells   = flag.Int("cells", 0, "quad-tree leaf cells per relation (default 24)")
-		workers = flag.Int("workers", 0, "join worker pool size (default all cores; any value yields identical results)")
+		fig        = flag.String("fig", "all", "figure to regenerate: 9a, 9b, 9c, 10, 10a, 10b, 10c, 11a, 11b, sweepN, sweepD, sweepSel, or all")
+		n          = flag.Int("n", 0, "rows per relation (default 1200; paper used 500000)")
+		queries    = flag.Int("queries", 0, "workload size |S_Q| (default 11)")
+		dims       = flag.Int("dims", 0, "output dimensionality d (default 4)")
+		sel        = flag.Float64("sel", 0, "join selectivity σ (default 0.01)")
+		seed       = flag.Int64("seed", 0, "dataset seed (default 2014)")
+		cells      = flag.Int("cells", 0, "quad-tree leaf cells per relation (default 24)")
+		workers    = flag.Int("workers", 0, "join worker pool size (default all cores; any value yields identical results)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -39,12 +43,40 @@ func main() {
 		Workers: *workers,
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caqe-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "caqe-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	start := time.Now()
 	if err := runFigure(*fig, cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "caqe-bench: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("done in %.1fs\n", time.Since(start).Seconds())
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caqe-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile reflects live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "caqe-bench: -memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func runFigure(fig string, cfg bench.Config) error {

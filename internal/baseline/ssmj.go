@@ -49,6 +49,7 @@ func SSMJ(w *workload.Workload, r, t *tuple.Relation, estTotals []int) (*run.Rep
 func streamingSkylineJoin(jc join.EquiJoin, fs []join.MapFunc, pref preference.Subspace,
 	rs, ts []*tuple.Tuple, clock *metrics.Clock) []join.Result {
 
+	kern := preference.NewKernel(pref)
 	rSorted := append([]*tuple.Tuple(nil), rs...)
 	tSorted := append([]*tuple.Tuple(nil), ts...)
 	sort.SliceStable(rSorted, func(i, j int) bool {
@@ -118,7 +119,7 @@ func streamingSkylineJoin(jc join.EquiJoin, fs []join.MapFunc, pref preference.S
 					if clock != nil {
 						clock.CountSkylineCmp(1)
 					}
-					switch preference.CompareIn(pref, wp.Vals, lp.Vals) {
+					switch kern.Compare(wp.Vals, lp.Vals) {
 					case -1:
 						dominated = true
 						keepWin = append(keepWin, wp)

@@ -38,6 +38,7 @@ func TimeShared(w *workload.Workload, r, t *tuple.Relation, estTotals []int) (*r
 			jc:    w.JoinConds[q.JC],
 			fs:    w.OutDims,
 			pref:  q.Pref,
+			kern:  preference.NewKernel(q.Pref),
 			rs:    rs,
 			ts:    ts,
 		}
@@ -72,6 +73,7 @@ type tsTask struct {
 	jc     join.EquiJoin
 	fs     []join.MapFunc
 	pref   preference.Subspace
+	kern   preference.Kernel
 	rs, ts []*tuple.Tuple
 
 	i, j   int // join cursor
@@ -117,7 +119,7 @@ func (k *tsTask) insert(res join.Result, clock *metrics.Clock) {
 			continue
 		}
 		clock.CountSkylineCmp(1)
-		switch preference.CompareIn(k.pref, w.Vals, p.Vals) {
+		switch k.kern.Compare(w.Vals, p.Vals) {
 		case -1:
 			dominated = true
 			keep = append(keep, w)

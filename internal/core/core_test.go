@@ -359,6 +359,39 @@ func TestSelectivityEstimate(t *testing.T) {
 	}
 }
 
+func TestSelectivityEstimateSharedLeftKey(t *testing.T) {
+	// Two join conditions over the same left key column must produce the
+	// same estimates as independent passes (the left histogram is memoized
+	// per key column, not per condition).
+	r := tuple.NewRelation(tuple.Schema{Name: "R", AttrNames: []string{"a0"}, KeyNames: []string{"k"}})
+	tt := tuple.NewRelation(tuple.Schema{Name: "T", AttrNames: []string{"a0"}, KeyNames: []string{"k0", "k1"}})
+	for i := 0; i < 40; i++ {
+		r.MustAppend([]float64{float64(i)}, []int64{int64(i % 5)})
+		tt.MustAppend([]float64{float64(i)}, []int64{int64(i % 4), int64(i % 7)})
+	}
+	jcs := []join.EquiJoin{
+		{Name: "jc0", LeftKey: 0, RightKey: 0},
+		{Name: "jc1", LeftKey: 0, RightKey: 1},
+	}
+	st := &state{e: &Engine{r: r, t: tt}}
+	sigmas := estimateSelectivities(jcs, r.Len(), tt.Len(), st)
+
+	for j, jc := range jcs {
+		matches := 0
+		for i := 0; i < r.Len(); i++ {
+			for k := 0; k < tt.Len(); k++ {
+				if r.At(i).Key(jc.LeftKey) == tt.At(k).Key(jc.RightKey) {
+					matches++
+				}
+			}
+		}
+		want := float64(matches) / float64(r.Len()*tt.Len())
+		if sigmas[j] != want {
+			t.Fatalf("σ̂[%d] = %g, want exact %g", j, sigmas[j], want)
+		}
+	}
+}
+
 func TestExecuteIntoQremapValidation(t *testing.T) {
 	w := testWorkload(4, 3, workload.UniformPriority, c3s)
 	r, tt := testPair(t, 50, 3, datagen.Independent, 0.05, 23)

@@ -40,7 +40,8 @@ func (st *state) buildDepGraph() {
 			st.clock.CountCellOp(1)
 			_, _, bestWeak, bestStrict := region.DomMasks(ri, rj)
 			var mask uint64
-			for _, qi := range (ri.Alive & rj.Alive).Queries() {
+			both := ri.Alive & rj.Alive
+			for qi := both.Next(0); qi >= 0; qi = both.Next(qi + 1) {
 				pm := prefMask[qi]
 				if pm&bestWeak == pm && pm&bestStrict != 0 {
 					mask |= 1 << uint(qi)

@@ -12,16 +12,23 @@ import (
 
 // estimateSelectivities derives σ per join condition from one pass over the
 // base relations' key histograms: σ̂ = Σ_v n_R(v)·n_T(v) / (|R|·|T|), the
-// exact probability that a random tuple pair joins.
+// exact probability that a random tuple pair joins. The left-relation
+// histogram depends only on the key column, so workloads whose join
+// conditions share a left key build it once and reuse it.
 func estimateSelectivities(jcs []join.EquiJoin, nR, nT int, st *state) []float64 {
 	out := make([]float64, len(jcs))
 	if nR == 0 || nT == 0 {
 		return out
 	}
+	hists := make(map[int]map[int64]int)
 	for j, jc := range jcs {
-		histR := make(map[int64]int)
-		for i := 0; i < nR; i++ {
-			histR[st.e.r.At(i).Key(jc.LeftKey)]++
+		histR := hists[jc.LeftKey]
+		if histR == nil {
+			histR = make(map[int64]int)
+			for i := 0; i < nR; i++ {
+				histR[st.e.r.At(i).Key(jc.LeftKey)]++
+			}
+			hists[jc.LeftKey] = histR
 		}
 		matches := 0.0
 		for i := 0; i < nT; i++ {
@@ -89,9 +96,16 @@ func (st *state) cardinality(rc *region.Region, qi int) float64 {
 // grouped per query of rc.Alive. The per-pair dominance geometry is
 // resolved once as a dimension mask and reused across queries (the
 // coarse-level sharing of §4.1); one cell operation is charged per live
-// pair, not per query.
-func (st *state) dominatorsByQuery(rc *region.Region) map[int][]*region.Region {
-	doms := make(map[int][]*region.Region)
+// pair, not per query. The returned slices are the state's reused
+// dominator scratch, valid until the next call.
+func (st *state) dominatorsByQuery(rc *region.Region) [][]*region.Region {
+	if st.domScratch == nil {
+		st.domScratch = make([][]*region.Region, len(st.w.Queries))
+	}
+	doms := st.domScratch
+	for qi := range doms {
+		doms[qi] = doms[qi][:0]
+	}
 	for fi, rf := range st.regions {
 		if st.processed[fi] || rf == rc || rf.Alive&rc.Alive == 0 {
 			continue
@@ -103,7 +117,8 @@ func (st *state) dominatorsByQuery(rc *region.Region) map[int][]*region.Region {
 				mask |= 1 << uint(k)
 			}
 		}
-		for _, qi := range (rf.Alive & rc.Alive).Queries() {
+		both := rf.Alive & rc.Alive
+		for qi := both.Next(0); qi >= 0; qi = both.Next(qi + 1) {
 			pm := st.prefMask[qi]
 			if pm&mask == pm {
 				doms[qi] = append(doms[qi], rf)
@@ -208,7 +223,7 @@ func (st *state) csm(rc *region.Region) float64 {
 	at := (st.clock.Now() + tc) / metrics.VirtualSecond
 	doms := st.dominatorsByQuery(rc)
 	total := 0.0
-	for _, qi := range rc.Alive.Queries() {
+	for qi := rc.Alive.Next(0); qi >= 0; qi = rc.Alive.Next(qi + 1) {
 		est := st.progEst(rc, qi, doms[qi])
 		if st.e.opt.DisableContractBenefit {
 			total += est // count-driven ablation

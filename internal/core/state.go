@@ -37,7 +37,8 @@ type state struct {
 	processed []bool // tuple-level done OR discarded
 	jcQueries []skycube.QSet
 	jcSigma   []float64
-	prefMask  []uint64 // per-query preference bitmask
+	prefMask  []uint64            // per-query preference bitmask
+	kerns     []preference.Kernel // per-query dominance kernel (monomorphized once)
 
 	outEdges [][]depEdge
 	indegree []int
@@ -52,6 +53,17 @@ type state struct {
 
 	frontier      [][]frontierCorner // per query: minimal best corners of live regions
 	frontierDirty []bool
+
+	// Reused scratch (see DESIGN.md §7): join result buffers, dominance
+	// champions, frontier corner candidates with their sort keys, and the
+	// gone-region list of emitSafe. All are recycled between calls so the
+	// steady state of the executor allocates only for durable results.
+	js            join.Scratch
+	champScratch  [][]float64
+	cornerScratch []frontierCorner
+	cornerKeys    []float64
+	goneScratch   []int
+	domScratch    [][]*region.Region
 }
 
 // frontierCorner is one minimal best corner of the live regions of a query,
@@ -90,6 +102,7 @@ func newState(e *Engine, clock *metrics.Clock, space *region.Space, shared *skyc
 	}
 	st.qremap = make([]int, nq)
 	st.prefMask = make([]uint64, nq)
+	st.kerns = make([]preference.Kernel, nq)
 	for i, q := range e.w.Queries {
 		// Initial weights fold the query priority into the benefit model;
 		// Eq. 11 feedback then re-balances toward unsatisfied queries.
@@ -97,6 +110,7 @@ func newState(e *Engine, clock *metrics.Clock, space *region.Space, shared *skyc
 		st.frontierDirty[i] = true
 		st.qremap[i] = i
 		st.prefMask[i] = q.Pref.Mask()
+		st.kerns[i] = preference.NewKernel(q.Pref)
 	}
 	st.jcQueries = make([]skycube.QSet, len(e.w.JoinConds))
 	for j := range e.w.JoinConds {
@@ -218,15 +232,18 @@ func (st *state) processRegion(rc *region.Region) []int {
 		if qmask == 0 {
 			continue
 		}
-		results := join.NestedLoopPool(jc, st.w.OutDims, rc.RCell.Tuples, rc.TCell.Tuples, st.clock, st.pool)
+		// The scratch results (and their flat coordinate backing) are only
+		// valid until the next join call, so durable coordinates are read
+		// back from the shared arena after insertion.
+		results := st.js.NestedLoopPool(jc, st.w.OutDims, rc.RCell.Tuples, rc.TCell.Tuples, st.clock, st.pool)
 		for _, res := range results {
 			payload := len(st.payloads)
-			st.payloads = append(st.payloads, payloadInfo{
-				rid: res.RID, tid: res.TID, out: res.Out, lineage: qmask,
-			})
 			alive := st.shared.Insert(payload, res.Out, qmask)
+			st.payloads = append(st.payloads, payloadInfo{
+				rid: res.RID, tid: res.TID, out: st.shared.PointVals(payload), lineage: qmask,
+			})
 			created = append(created, payload)
-			for _, qi := range alive.Queries() {
+			for qi := alive.Next(0); qi >= 0; qi = alive.Next(qi + 1) {
 				st.pending[qi] = append(st.pending[qi], payload)
 			}
 		}
@@ -242,17 +259,18 @@ func (st *state) processRegion(rc *region.Region) []int {
 // shrink).
 func (st *state) discardDominated(rc *region.Region, newPayloads []int) skycube.QSet {
 	var killedQueries skycube.QSet
-	for _, qi := range rc.Alive.Queries() {
-		pref := st.w.Queries[qi].Pref
+	for qi := rc.Alive.Next(0); qi >= 0; qi = rc.Alive.Next(qi + 1) {
+		kern := st.kerns[qi]
 		// Candidates for query qi among the new results: only current
 		// skyline candidates can wholesale-dominate a region (dominance is
 		// transitive, so the dominators of dominators suffice).
-		var champs [][]float64
+		champs := st.champScratch[:0]
 		for _, p := range newPayloads {
 			if st.payloads[p].lineage.Has(qi) && st.shared.IsCandidate(p, qi) {
 				champs = append(champs, st.payloads[p].out)
 			}
 		}
+		st.champScratch = champs[:0]
 		if len(champs) == 0 {
 			continue
 		}
@@ -262,7 +280,7 @@ func (st *state) discardDominated(rc *region.Region, newPayloads []int) skycube.
 			}
 			for _, x := range champs {
 				st.clock.CountCellOp(1)
-				if preference.DominatesIn(pref, x, rf.Lo) {
+				if kern.Dominates(x, rf.Lo) {
 					rf.Alive &^= 1 << uint(qi)
 					killedQueries = killedQueries.Add(qi)
 					st.trace(TraceEvent{Kind: "discard", Region: fi, Query: st.qremap[qi]})
@@ -288,11 +306,11 @@ func (st *state) discardDominated(rc *region.Region, newPayloads []int) skycube.
 // is indexed under its blocking witness and re-vetted exactly when that
 // region is processed or discarded for the query.
 func (st *state) emitSafe(affected skycube.QSet) {
-	for _, qi := range affected.Queries() {
+	for qi := affected.Next(0); qi >= 0; qi = affected.Next(qi + 1) {
 		st.refreshFrontier(qi)
 		// Re-vet results whose blocking region is gone (deterministic
 		// ascending region order).
-		var gone []int
+		gone := st.goneScratch[:0]
 		for f := range st.blocked[qi] {
 			if st.processed[f] || !st.regions[f].Alive.Has(qi) {
 				gone = append(gone, f)
@@ -306,6 +324,7 @@ func (st *state) emitSafe(affected skycube.QSet) {
 				st.vet(qi, p)
 			}
 		}
+		st.goneScratch = gone[:0]
 		// First safety check for freshly generated candidates.
 		for _, p := range st.pending[qi] {
 			st.vet(qi, p)
@@ -324,10 +343,10 @@ func (st *state) vet(qi, p int) {
 	if !st.shared.IsCandidate(p, qi) {
 		return // dominated since insertion: drop
 	}
-	pref := st.w.Queries[qi].Pref
+	kern := st.kerns[qi]
 	for _, fc := range st.frontier[qi] {
 		st.clock.CountCellOp(1)
-		if preference.WeakDominatesIn(pref, fc.corner, info.out) {
+		if kern.WeakDominates(fc.corner, info.out) {
 			st.blocked[qi][fc.region] = append(st.blocked[qi][fc.region], p)
 			return
 		}
@@ -360,28 +379,23 @@ func (st *state) refreshFrontier(qi int) {
 		return
 	}
 	st.frontierDirty[qi] = false
-	pref := st.w.Queries[qi].Pref
-	var corners []frontierCorner
+	kern := st.kerns[qi]
+	corners := st.cornerScratch[:0]
+	keys := st.cornerKeys[:0]
 	for fi, rf := range st.regions {
 		if st.processed[fi] || !rf.Alive.Has(qi) {
 			continue
 		}
 		corners = append(corners, frontierCorner{region: fi, corner: rf.Lo})
+		keys = append(keys, kern.Sum(rf.Lo))
 	}
-	sum := func(c []float64) float64 {
-		s := 0.0
-		for _, k := range pref {
-			s += c[k]
-		}
-		return s
-	}
-	sort.SliceStable(corners, func(i, j int) bool { return sum(corners[i].corner) < sum(corners[j].corner) })
-	minimal := corners[:0:0]
+	sort.Sort(&cornerSorter{cs: corners, key: keys})
+	minimal := st.frontier[qi][:0]
 	for _, c := range corners {
 		dominated := false
 		for _, o := range minimal {
 			st.clock.CountCellOp(1)
-			if preference.WeakDominatesIn(pref, o.corner, c.corner) {
+			if kern.WeakDominates(o.corner, c.corner) {
 				dominated = true
 				break
 			}
@@ -391,10 +405,34 @@ func (st *state) refreshFrontier(qi int) {
 		}
 	}
 	st.frontier[qi] = minimal
+	st.cornerScratch = corners[:0]
+	st.cornerKeys = keys[:0]
+}
+
+// cornerSorter sorts frontier corners by their precomputed subspace sum
+// with the (unique) region index as tie-breaker. Corners are collected in
+// ascending region order, so this total order reproduces exactly the
+// permutation of the reference stable sort on the sum alone — which lets
+// the faster unstable sort.Sort stand in for sort.SliceStable.
+type cornerSorter struct {
+	cs  []frontierCorner
+	key []float64
+}
+
+func (s *cornerSorter) Len() int { return len(s.cs) }
+func (s *cornerSorter) Less(i, j int) bool {
+	if s.key[i] != s.key[j] {
+		return s.key[i] < s.key[j]
+	}
+	return s.cs[i].region < s.cs[j].region
+}
+func (s *cornerSorter) Swap(i, j int) {
+	s.cs[i], s.cs[j] = s.cs[j], s.cs[i]
+	s.key[i], s.key[j] = s.key[j], s.key[i]
 }
 
 func (st *state) markFrontiersDirty(qs skycube.QSet) {
-	for _, qi := range qs.Queries() {
+	for qi := qs.Next(0); qi >= 0; qi = qs.Next(qi + 1) {
 		st.frontierDirty[qi] = true
 	}
 }

@@ -121,6 +121,17 @@ func Project(fs []MapFunc, r, t *tuple.Tuple) []float64 {
 	return out
 }
 
+// projectAppend is Project into a flat packed buffer: the output point is
+// appended to flat and returned as a capacity-clamped subslice of it, so a
+// batch of results shares one backing allocation.
+func projectAppend(flat []float64, fs []MapFunc, r, t *tuple.Tuple) ([]float64, []float64) {
+	base := len(flat)
+	for _, f := range fs {
+		flat = append(flat, f.Eval(r, t))
+	}
+	return flat, flat[base:len(flat):len(flat)]
+}
+
 // Result is one materialized join result: the originating tuple IDs and the
 // projected output point.
 type Result struct {
@@ -128,12 +139,11 @@ type Result struct {
 	Out      []float64
 }
 
-// NestedLoop materializes the equi-join of two tuple slices under jc,
-// projecting with fs, charging every probe and result to the clock. It is
-// the tuple-level join primitive used for cell pairs and the full-relation
-// baseline path.
-func NestedLoop(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock) []Result {
-	var out []Result
+// nestedLoopAppend runs the nested-loop join appending into dst, with the
+// projected output points packed into the flat backing buffer (Result.Out
+// slices alias flat). Returns the grown buffers.
+func nestedLoopAppend(dst []Result, flat []float64, jc EquiJoin, fs []MapFunc,
+	rs, ts []*tuple.Tuple, clock *metrics.Clock) ([]Result, []float64) {
 	for _, r := range rs {
 		for _, t := range ts {
 			if clock != nil {
@@ -145,10 +155,42 @@ func NestedLoop(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics
 			if clock != nil {
 				clock.CountJoinResult(1)
 			}
-			out = append(out, Result{RID: r.ID, TID: t.ID, Out: Project(fs, r, t)})
+			var out []float64
+			flat, out = projectAppend(flat, fs, r, t)
+			dst = append(dst, Result{RID: r.ID, TID: t.ID, Out: out})
 		}
 	}
+	return dst, flat
+}
+
+// NestedLoop materializes the equi-join of two tuple slices under jc,
+// projecting with fs, charging every probe and result to the clock. It is
+// the tuple-level join primitive used for cell pairs and the full-relation
+// baseline path. Output points are packed into one flat allocation shared
+// by the whole result batch.
+func NestedLoop(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock) []Result {
+	out, _ := nestedLoopAppend(nil, nil, jc, fs, rs, ts, clock)
 	return out
+}
+
+// hashProbeAppend probes the prebuilt right-side index with every left
+// tuple, appending into dst/flat as nestedLoopAppend does.
+func hashProbeAppend(dst []Result, flat []float64, jc EquiJoin, fs []MapFunc,
+	rs []*tuple.Tuple, idx map[int64][]*tuple.Tuple, clock *metrics.Clock) ([]Result, []float64) {
+	for _, r := range rs {
+		if clock != nil {
+			clock.CountJoinProbe(1)
+		}
+		for _, t := range idx[r.Key(jc.LeftKey)] {
+			if clock != nil {
+				clock.CountJoinResult(1)
+			}
+			var out []float64
+			flat, out = projectAppend(flat, fs, r, t)
+			dst = append(dst, Result{RID: r.ID, TID: t.ID, Out: out})
+		}
+	}
+	return dst, flat
 }
 
 // HashJoin materializes the same result as NestedLoop using a hash table on
@@ -159,18 +201,7 @@ func NestedLoop(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics
 // nested-loop style should use NestedLoop to preserve relative costs.
 func HashJoin(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock) []Result {
 	idx := buildHashIndex(jc, ts, clock)
-	var out []Result
-	for _, r := range rs {
-		if clock != nil {
-			clock.CountJoinProbe(1)
-		}
-		for _, t := range idx[r.Key(jc.LeftKey)] {
-			if clock != nil {
-				clock.CountJoinResult(1)
-			}
-			out = append(out, Result{RID: r.ID, TID: t.ID, Out: Project(fs, r, t)})
-		}
-	}
+	out, _ := hashProbeAppend(nil, nil, jc, fs, rs, idx, clock)
 	return out
 }
 
@@ -213,18 +244,9 @@ var ParallelProbeCutoff = 4096
 // 1-worker pool, or below ParallelProbeCutoff candidate pairs, it is the
 // serial NestedLoop.
 func NestedLoopPool(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock, pool *parallel.Pool) []Result {
-	if pool.Workers() <= 1 || len(rs)*len(ts) < ParallelProbeCutoff {
-		return NestedLoop(jc, fs, rs, ts, clock)
-	}
-	shards := pool.Shards(len(rs))
-	outs := make([][]Result, len(shards))
-	subs := make([]metrics.Counters, len(shards))
-	pool.Run(len(rs), func(i, lo, hi int) {
-		sub := metrics.NewClock()
-		outs[i] = NestedLoop(jc, fs, rs[lo:hi], ts, sub)
-		subs[i] = sub.Counters()
-	})
-	return foldShards(outs, subs, clock)
+	var s Scratch
+	out := s.NestedLoopPool(jc, fs, rs, ts, clock, pool)
+	return append([]Result(nil), out...)
 }
 
 // HashJoinPool is HashJoin fanned out over a worker pool: the right-side
@@ -232,42 +254,105 @@ func NestedLoopPool(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *met
 // probes are sharded. Falls back to the serial HashJoin under the same
 // conditions as NestedLoopPool.
 func HashJoinPool(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock, pool *parallel.Pool) []Result {
+	var s Scratch
+	out := s.HashJoinPool(jc, fs, rs, ts, clock, pool)
+	return append([]Result(nil), out...)
+}
+
+// ---------------------------------------------------------------------------
+// Scratch: reusable join buffers
+//
+// A Scratch owns the result headers, the flat coordinate backing of the
+// output points, and the per-shard buffers of the pool variants, so a
+// caller that joins many cell pairs in sequence (the region executor, the
+// top-k engine) performs zero steady-state allocations per join. Buffer
+// reuse is invisible to every observable: outputs, output order and clock
+// charges are identical to the allocating package functions.
+
+// Scratch holds reusable join buffers. The zero value is ready to use. A
+// Scratch must not be used concurrently, and the results of a call are
+// valid only until the next call on the same Scratch (the buffers are
+// recycled). Callers that need durable results must copy them out — or use
+// the package-level functions, which do exactly that.
+type Scratch struct {
+	results []Result
+	flat    []float64 // packed backing for Result.Out
+
+	shardOuts [][]Result
+	shardFlat [][]float64
+	subs      []metrics.Counters
+}
+
+// NestedLoop is the serial nested-loop join into the scratch buffers.
+func (s *Scratch) NestedLoop(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock) []Result {
+	s.results, s.flat = nestedLoopAppend(s.results[:0], s.flat[:0], jc, fs, rs, ts, clock)
+	return s.results
+}
+
+// HashJoin is the hash join into the scratch buffers.
+func (s *Scratch) HashJoin(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock) []Result {
+	idx := buildHashIndex(jc, ts, clock)
+	s.results, s.flat = hashProbeAppend(s.results[:0], s.flat[:0], jc, fs, rs, idx, clock)
+	return s.results
+}
+
+// ensureShards sizes the per-shard buffer sets.
+func (s *Scratch) ensureShards(n int) {
+	for len(s.shardOuts) < n {
+		s.shardOuts = append(s.shardOuts, nil)
+		s.shardFlat = append(s.shardFlat, nil)
+		s.subs = append(s.subs, metrics.Counters{})
+	}
+}
+
+// NestedLoopPool is NestedLoop fanned out over a worker pool, reusing the
+// scratch's per-shard buffers. Shards run the serial algorithm with a
+// private clock and are folded back in ascending shard order, so output
+// order and clock state reproduce the serial run exactly.
+func (s *Scratch) NestedLoopPool(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock, pool *parallel.Pool) []Result {
 	if pool.Workers() <= 1 || len(rs)*len(ts) < ParallelProbeCutoff {
-		return HashJoin(jc, fs, rs, ts, clock)
+		return s.NestedLoop(jc, fs, rs, ts, clock)
+	}
+	shards := pool.Shards(len(rs))
+	s.ensureShards(len(shards))
+	pool.Run(len(rs), func(i, lo, hi int) {
+		sub := metrics.NewClock()
+		s.shardOuts[i], s.shardFlat[i] = nestedLoopAppend(
+			s.shardOuts[i][:0], s.shardFlat[i][:0], jc, fs, rs[lo:hi], ts, sub)
+		s.subs[i] = sub.Counters()
+	})
+	return s.foldShards(len(shards), clock)
+}
+
+// HashJoinPool is HashJoin fanned out over a worker pool, reusing the
+// scratch's per-shard buffers; the right-side index is built once serially
+// (charged as in HashJoin), then the left-side probes are sharded.
+func (s *Scratch) HashJoinPool(jc EquiJoin, fs []MapFunc, rs, ts []*tuple.Tuple, clock *metrics.Clock, pool *parallel.Pool) []Result {
+	if pool.Workers() <= 1 || len(rs)*len(ts) < ParallelProbeCutoff {
+		return s.HashJoin(jc, fs, rs, ts, clock)
 	}
 	idx := buildHashIndex(jc, ts, clock)
 	shards := pool.Shards(len(rs))
-	outs := make([][]Result, len(shards))
-	subs := make([]metrics.Counters, len(shards))
+	s.ensureShards(len(shards))
 	pool.Run(len(rs), func(i, lo, hi int) {
 		sub := metrics.NewClock()
-		var out []Result
-		for _, r := range rs[lo:hi] {
-			sub.CountJoinProbe(1)
-			for _, t := range idx[r.Key(jc.LeftKey)] {
-				sub.CountJoinResult(1)
-				out = append(out, Result{RID: r.ID, TID: t.ID, Out: Project(fs, r, t)})
-			}
-		}
-		outs[i] = out
-		subs[i] = sub.Counters()
+		s.shardOuts[i], s.shardFlat[i] = hashProbeAppend(
+			s.shardOuts[i][:0], s.shardFlat[i][:0], jc, fs, rs[lo:hi], idx, sub)
+		s.subs[i] = sub.Counters()
 	})
-	return foldShards(outs, subs, clock)
+	return s.foldShards(len(shards), clock)
 }
 
-// foldShards combines per-shard results and counters in ascending shard
-// order, reproducing the serial output order and clock state.
-func foldShards(outs [][]Result, subs []metrics.Counters, clock *metrics.Clock) []Result {
-	total := 0
-	for _, o := range outs {
-		total += len(o)
-	}
-	out := make([]Result, 0, total)
-	for i := range outs {
+// foldShards concatenates the first n per-shard results into the scratch's
+// result buffer and merges the per-shard counters in ascending shard order,
+// reproducing the serial output order and clock state.
+func (s *Scratch) foldShards(n int, clock *metrics.Clock) []Result {
+	s.results = s.results[:0]
+	for i := 0; i < n; i++ {
 		if clock != nil {
-			clock.Merge(subs[i])
+			clock.Merge(s.subs[i])
 		}
-		out = append(out, outs[i]...)
+		s.results = append(s.results, s.shardOuts[i]...)
 	}
-	return out
+	return s.results
 }

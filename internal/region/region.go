@@ -220,7 +220,8 @@ func (s *Space) coarsePrune(clock *metrics.Clock) {
 				clock.CountCellOp(1)
 			}
 			fullWeak, fullStrict, _, _ := DomMasks(o, r)
-			for _, qi := range (o.RQL & r.Alive).Queries() {
+			both := o.RQL & r.Alive
+			for qi := both.Next(0); qi >= 0; qi = both.Next(qi + 1) {
 				pm := prefMask[qi]
 				if pm&fullWeak == pm && pm&fullStrict != 0 {
 					r.Alive &^= 1 << uint(qi)

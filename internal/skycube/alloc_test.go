@@ -1,0 +1,53 @@
+package skycube
+
+import (
+	"math/rand"
+	"testing"
+
+	"caqe/internal/preference"
+)
+
+// TestSharedSkylineInsertZeroAllocs pins the steady state of the shared
+// skyline at zero heap allocations per insert: once the arena, the
+// per-payload bitmask arrays, the windows and the freelist have grown to
+// working size, inserting (and killing) further points must recycle rather
+// than allocate.
+func TestSharedSkylineInsertZeroAllocs(t *testing.T) {
+	prefs := []preference.Subspace{
+		preference.NewSubspace(0, 1),
+		preference.NewSubspace(1, 2),
+		preference.NewSubspace(0, 1, 2),
+	}
+	c, err := BuildCuboid(prefs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSharedSkyline(c, nil)
+	all := QSet(0).Add(0).Add(1).Add(2)
+
+	rng := rand.New(rand.NewSource(7))
+	point := func() []float64 {
+		return []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+
+	// Populate a working set, then warm the steady-state cycle on one
+	// recycled payload slot until every internal buffer has reached its
+	// high-water capacity.
+	const base = 256
+	for p := 0; p < base; p++ {
+		s.Insert(p, point(), all)
+	}
+	vals := point()
+	for i := 0; i < 128; i++ {
+		s.Insert(base, point(), all)
+		s.KillForQueries(base, all)
+	}
+
+	allocs := testing.AllocsPerRun(64, func() {
+		s.Insert(base, vals, all)
+		s.KillForQueries(base, all)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Insert: %v allocs/op, want 0", allocs)
+	}
+}

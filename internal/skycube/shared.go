@@ -28,24 +28,53 @@ import (
 // queries in the dominator's lineage. Correctness across removals follows
 // from the transitivity of strict dominance within a fixed subspace.
 //
+// Memory layout (DESIGN.md §7): point coordinates live in one flat
+// stride-indexed arena instead of a per-point heap slice; window entries
+// are recycled through a freelist; per-node dominance runs through a
+// preference.Kernel monomorphized for the node's subspace; and the
+// child-protection test is a 3-way AND over payload-indexed node bitmasks.
+// Entries killed by KillForQueries are marked dead and batch-compacted
+// instead of spliced one at a time. None of this changes any observable:
+// candidate sets, comparison counts and iteration orders are identical to
+// the reference implementation — dead entries are skipped without
+// accounting, exactly as if they had been removed eagerly.
+//
 // Payloads must be small non-negative integers (the engine assigns them
 // sequentially); per-node membership is payload-indexed for O(1) access.
 type SharedSkyline struct {
 	cuboid *Cuboid
 	clock  *metrics.Clock
-	nodes  []*sharedNode           // aligned with cuboid.Nodes (ascending level)
-	prefSN []*sharedNode           // query index -> node of its full preference
-	points [][]float64             // payload-indexed coordinates
-	_      [0]func(*SharedSkyline) // incomparable
+	nodes  []*sharedNode          // aligned with cuboid.Nodes (ascending level)
+	prefSN []*sharedNode          // query index -> node of its full preference
+	points *preference.FlatPoints // payload-indexed coordinate arena (sized at first Insert)
+	free   []*sharedEntry         // recycled window entries
+
+	// Per-payload bitmasks over node indices, maintained iff the plan has at
+	// most 64 nodes (childProtects falls back to the member scan otherwise):
+	// memberBits[p] bit n ⇔ p is a live member at node n; cleanBits[p] bit n
+	// additionally requires the entry's clean flag.
+	useMasks   bool
+	memberBits []uint64
+	cleanBits  []uint64
+
+	_ [0]func(*SharedSkyline) // incomparable
 }
 
 type sharedEntry struct {
 	payload int
-	vals    []float64
-	sum     float64 // Σ vals over the node's subspace (window sort key)
+	sum     float64 // Σ coordinates over the node's subspace (window sort key)
 	lineage QSet    // immutable: queries this point competes for at this node
 	alive   QSet    // queries for which the point is still a skyline candidate here
 	clean   bool    // no compared point weakly dominates it in this subspace
+
+	// proj holds the point's coordinates projected onto the node's subspace,
+	// zero-padded beyond len(sub), for subspaces of at most 4 dimensions.
+	// Zero-padding makes 0 ≤ 0 hold on every unused lane, so weak dominance
+	// over the subspace is the unconditional 4-lane conjunction — the scan
+	// compares entry-local fixed-size arrays with no arena access, bounds
+	// checks or per-dimension branching. Subspaces with ≥ 5 dimensions leave
+	// proj zero and compare through the kernel against the arena.
+	proj [4]float64
 }
 
 // sharedNode keeps its window sorted ascending by the monotone coordinate
@@ -54,12 +83,16 @@ type sharedEntry struct {
 // prefix for dominators and a suffix for evictions — the SFS presorting
 // idea applied incrementally inside the shared plan.
 type sharedNode struct {
-	node     *Node
-	sub      preference.Subspace
-	qserve   QSet
-	window   []*sharedEntry
-	members  []*sharedEntry // payload-indexed; nil = not a member
-	children []*sharedNode
+	node      *Node
+	idx       int    // position in SharedSkyline.nodes (bit index of the masks)
+	childMask uint64 // bitmask over the node indices of the cuboid children
+	sub       preference.Subspace
+	kern      preference.Kernel
+	qserve    QSet
+	window    []*sharedEntry
+	dead      int            // window entries with alive == 0 awaiting compaction
+	members   []*sharedEntry // payload-indexed; nil = not a member
+	children  []*sharedNode
 }
 
 func (sn *sharedNode) memberAt(payload int) *sharedEntry {
@@ -76,23 +109,40 @@ func (sn *sharedNode) setMember(payload int, e *sharedEntry) {
 	sn.members[payload] = e
 }
 
+// windowPresize is the initial window capacity of every node.
+const windowPresize = 16
+
+// compactionSlack is the minimum number of dead window entries before a
+// node's window is batch-compacted (and then only once the dead entries are
+// at least half the window). Compaction is invisible to every observable:
+// dead entries are already skipped, uncounted, by all scans.
+const compactionSlack = 16
+
 // NewSharedSkyline creates the execution state for a cuboid. The clock may
 // be nil (no accounting).
 func NewSharedSkyline(c *Cuboid, clock *metrics.Clock) *SharedSkyline {
 	s := &SharedSkyline{
-		cuboid: c,
-		clock:  clock,
-		prefSN: make([]*sharedNode, c.NumQueries()),
+		cuboid:   c,
+		clock:    clock,
+		prefSN:   make([]*sharedNode, c.NumQueries()),
+		useMasks: len(c.Nodes) <= 64,
 	}
 	byNode := make(map[*Node]*sharedNode, len(c.Nodes))
-	for _, n := range c.Nodes {
-		sn := &sharedNode{node: n, sub: n.Sub, qserve: n.QServe}
+	for i, n := range c.Nodes {
+		sn := &sharedNode{
+			node: n, idx: i, sub: n.Sub, kern: preference.NewKernel(n.Sub),
+			qserve: n.QServe, window: make([]*sharedEntry, 0, windowPresize),
+		}
 		s.nodes = append(s.nodes, sn)
 		byNode[n] = sn
 	}
 	for _, sn := range s.nodes {
 		for _, ch := range sn.node.Children {
-			sn.children = append(sn.children, byNode[ch])
+			csn := byNode[ch]
+			sn.children = append(sn.children, csn)
+			if s.useMasks {
+				sn.childMask |= 1 << uint(csn.idx)
+			}
 		}
 	}
 	for i := 0; i < c.NumQueries(); i++ {
@@ -107,14 +157,37 @@ func NewSharedSkyline(c *Cuboid, clock *metrics.Clock) *SharedSkyline {
 // Cuboid returns the plan this state executes.
 func (s *SharedSkyline) Cuboid() *Cuboid { return s.cuboid }
 
+// growMasks ensures the per-payload bitmask arrays cover payload.
+func (s *SharedSkyline) growMasks(payload int) {
+	for payload >= len(s.memberBits) {
+		s.memberBits = append(s.memberBits, 0)
+		s.cleanBits = append(s.cleanBits, 0)
+	}
+}
+
+// newEntry returns a recycled window entry, or a fresh one if the freelist
+// is empty.
+func (s *SharedSkyline) newEntry() *sharedEntry {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &sharedEntry{}
+}
+
 // Insert adds a point with the given unique payload identifier and query
 // lineage. It returns the set of queries for which the point is currently a
-// skyline candidate (zero if immediately dominated everywhere).
+// skyline candidate (zero if immediately dominated everywhere). The
+// coordinates are copied into the shared arena; the caller keeps vals.
 func (s *SharedSkyline) Insert(payload int, vals []float64, lineage QSet) QSet {
-	for payload >= len(s.points) {
-		s.points = append(s.points, nil)
+	if s.points == nil {
+		s.points = preference.NewFlatPoints(len(vals), 1024)
 	}
-	s.points[payload] = vals
+	s.points.Set(payload, vals)
+	if s.useMasks {
+		s.growMasks(payload)
+	}
 	for _, sn := range s.nodes {
 		relevant := sn.qserve & lineage
 		if relevant == 0 {
@@ -137,36 +210,56 @@ func (s *SharedSkyline) Insert(payload int, vals []float64, lineage QSet) QSet {
 
 // insertAt performs the windowed insert of one point at one node.
 func (s *SharedSkyline) insertAt(sn *sharedNode, payload int, vals []float64, relevant QSet) {
-	sp := 0.0
-	for _, k := range sn.sub {
-		sp += vals[k]
+	sp := sn.kern.Sum(vals)
+	// Project the incoming point onto the subspace, zero-padded (see
+	// sharedEntry.proj). Subspaces of ≥ 5 dimensions take the kernel path.
+	var p [4]float64
+	fast := len(sn.sub) <= 4
+	if fast {
+		for i, k := range sn.sub {
+			p[i] = vals[k]
+		}
 	}
 	// Entries with sum ≤ sp form the dominator candidates; entries with
 	// sum ≥ sp are the eviction candidates (equal sums appear in both).
 	lowIdx := sort.Search(len(sn.window), func(i int) bool { return sn.window[i].sum >= sp })
-	hiIdx := sort.Search(len(sn.window), func(i int) bool { return sn.window[i].sum > sp })
+	hiIdx := lowIdx + sort.Search(len(sn.window)-lowIdx, func(i int) bool { return sn.window[lowIdx+i].sum > sp })
 
 	aliveP := relevant
 	cleanP := true
 	var cmpCount int64
 
-	// Prefix scan: can some member dominate p?
+	// Hoist the incoming point's halves of the child-protection masks: its
+	// bits are only mutated after both scans, so each window entry costs a
+	// single payload-indexed load.
+	var pCleanChildren, pMemberChildren uint64
+	if s.useMasks {
+		pCleanChildren = s.cleanBits[payload] & sn.childMask
+		pMemberChildren = s.memberBits[payload] & sn.childMask
+	}
+
+	// Prefix scan: can some member dominate p? The reverse direction is
+	// only consulted when the forward one holds, so it is computed lazily.
 	for _, w := range sn.window[:hiIdx] {
-		if w.lineage&relevant == 0 {
-			continue // disjoint lineages never interact
+		if w.alive == 0 || w.lineage&relevant == 0 {
+			continue // dead, or disjoint lineages never interact
 		}
-		if s.childProtects(sn, payload, w.payload) {
-			continue // w provably cannot weakly dominate p here
+		if s.useMasks {
+			if pCleanChildren&s.memberBits[w.payload] != 0 {
+				continue // w provably cannot weakly dominate p here
+			}
+		} else if s.childProtects(sn, payload, w.payload) {
+			continue
 		}
 		cmpCount++
-		wWeakP, pWeakW := true, true
-		for _, k := range sn.sub {
-			if w.vals[k] > vals[k] {
-				wWeakP = false
-				break
-			} else if w.vals[k] < vals[k] {
-				pWeakW = false
+		var wWeakP, pWeakW bool
+		if fast {
+			wWeakP = w.proj[0] <= p[0] && w.proj[1] <= p[1] && w.proj[2] <= p[2] && w.proj[3] <= p[3]
+			if wWeakP {
+				pWeakW = p[0] <= w.proj[0] && p[1] <= w.proj[1] && p[2] <= w.proj[2] && p[3] <= w.proj[3]
 			}
+		} else {
+			wWeakP, pWeakW = sn.kern.Relate(s.points.At(w.payload), vals)
 		}
 		if wWeakP {
 			cleanP = false
@@ -189,57 +282,109 @@ func (s *SharedSkyline) insertAt(sn *sharedNode, payload int, vals []float64, re
 		return
 	}
 
-	// Suffix scan: which members does p dominate?
-	keep := sn.window[:lowIdx]
-	for _, w := range sn.window[lowIdx:] {
-		if w.lineage&relevant == 0 || s.childProtects(sn, w.payload, payload) {
-			keep = append(keep, w)
+	// Suffix scan: which members does p dominate? Dead entries encountered
+	// here are compacted away for free. Pointer slots are rewritten only
+	// once a removal has actually happened — the common no-eviction scan
+	// touches no window slot (and pays no write barriers).
+	keepLen := lowIdx
+	pos := -1 // insertion slot for p: keepLen when the scan crosses hiIdx
+	for idx := lowIdx; idx < len(sn.window); idx++ {
+		if idx == hiIdx {
+			pos = keepLen
+		}
+		w := sn.window[idx]
+		if w.alive == 0 {
+			sn.dead--
+			s.free = append(s.free, w)
 			continue
 		}
-		cmpCount++
-		wWeakP, pWeakW := true, true
-		for _, k := range sn.sub {
-			if vals[k] > w.vals[k] {
-				pWeakW = false
-				break
-			} else if vals[k] < w.vals[k] {
-				wWeakP = false
+		drop := false
+		if w.lineage&relevant != 0 {
+			protected := false
+			if s.useMasks {
+				protected = s.cleanBits[w.payload]&pMemberChildren != 0
+			} else {
+				protected = s.childProtects(sn, w.payload, payload)
 			}
-		}
-		if wWeakP && pWeakW { // equal in the subspace (sum tie)
-			cleanP = false
-		}
-		if pWeakW {
-			w.clean = false
-			if !wWeakP { // strict: p ≺ w
-				w.alive &^= relevant
-				if w.alive == 0 {
-					sn.members[w.payload] = nil
-					continue // drop w from the window
+			if !protected {
+				cmpCount++
+				var pWeakW, wWeakP bool
+				if fast {
+					pWeakW = p[0] <= w.proj[0] && p[1] <= w.proj[1] && p[2] <= w.proj[2] && p[3] <= w.proj[3]
+					if pWeakW {
+						wWeakP = w.proj[0] <= p[0] && w.proj[1] <= p[1] && w.proj[2] <= p[2] && w.proj[3] <= p[3]
+					}
+				} else {
+					pWeakW, wWeakP = sn.kern.Relate(vals, s.points.At(w.payload))
+				}
+				if wWeakP && pWeakW { // equal in the subspace (sum tie)
+					cleanP = false
+				}
+				if pWeakW {
+					if w.clean {
+						w.clean = false
+						if s.useMasks {
+							s.cleanBits[w.payload] &^= 1 << uint(sn.idx)
+						}
+					}
+					if !wWeakP { // strict: p ≺ w
+						w.alive &^= relevant
+						if w.alive == 0 {
+							sn.members[w.payload] = nil
+							if s.useMasks {
+								bit := uint64(1) << uint(sn.idx)
+								s.memberBits[w.payload] &^= bit
+								s.cleanBits[w.payload] &^= bit
+							}
+							s.free = append(s.free, w)
+							drop = true // remove w from the window
+						}
+					}
 				}
 			}
 		}
-		keep = append(keep, w)
+		if drop {
+			continue
+		}
+		if keepLen != idx {
+			sn.window[keepLen] = w
+		}
+		keepLen++
 	}
-	sn.window = keep
+	sn.window = sn.window[:keepLen]
+	if pos < 0 {
+		pos = keepLen // every survivor has sum ≤ sp
+	}
 	if s.clock != nil && cmpCount > 0 {
 		s.clock.CountSkylineCmp(cmpCount)
 	}
 
 	// Insert p at its sorted position (end of its equal-sum run within the
 	// kept prefix; lowIdx..hiIdx survivors precede it).
-	e := &sharedEntry{payload: payload, vals: vals, sum: sp, lineage: relevant, alive: aliveP, clean: cleanP}
-	pos := sort.Search(len(sn.window), func(i int) bool { return sn.window[i].sum > sp })
+	e := s.newEntry()
+	*e = sharedEntry{payload: payload, sum: sp, lineage: relevant, alive: aliveP, clean: cleanP, proj: p}
 	sn.window = append(sn.window, nil)
 	copy(sn.window[pos+1:], sn.window[pos:])
 	sn.window[pos] = e
 	sn.setMember(payload, e)
+	if s.useMasks {
+		bit := uint64(1) << uint(sn.idx)
+		s.memberBits[payload] |= bit
+		if cleanP {
+			s.cleanBits[payload] |= bit
+		} else {
+			s.cleanBits[payload] &^= bit
+		}
+	}
 }
 
 // childProtects reports whether some cuboid child of sn's node contains both
 // points as current members with the protected point clean there, which
 // proves the attacker cannot dominate the protected point in sn's subspace.
 func (s *SharedSkyline) childProtects(sn *sharedNode, protectedID, attackerID int) bool {
+	if s.useMasks {
+		return s.cleanBits[protectedID]&s.memberBits[attackerID]&sn.childMask != 0
+	}
 	for _, cn := range sn.children {
 		pe := cn.memberAt(protectedID)
 		if pe == nil || !pe.clean {
@@ -254,7 +399,10 @@ func (s *SharedSkyline) childProtects(sn *sharedNode, protectedID, attackerID in
 
 // KillForQueries removes candidacy of a point for the given queries across
 // all nodes (used when region-level knowledge invalidates join results that
-// were already inserted). Points with no remaining alive bits are dropped.
+// were already inserted). Points with no remaining alive bits are marked
+// dead immediately — every scan skips them from then on — and their window
+// slots are reclaimed in batched compaction passes rather than spliced one
+// at a time.
 func (s *SharedSkyline) KillForQueries(payload int, dead QSet) {
 	for _, sn := range s.nodes {
 		e := sn.memberAt(payload)
@@ -264,14 +412,32 @@ func (s *SharedSkyline) KillForQueries(payload int, dead QSet) {
 		e.alive &^= dead
 		if e.alive == 0 {
 			sn.members[payload] = nil
-			for i, w := range sn.window {
-				if w.payload == payload {
-					sn.window = append(sn.window[:i], sn.window[i+1:]...)
-					break
-				}
+			if s.useMasks {
+				bit := uint64(1) << uint(sn.idx)
+				s.memberBits[payload] &^= bit
+				s.cleanBits[payload] &^= bit
+			}
+			sn.dead++
+			if sn.dead >= compactionSlack && sn.dead*2 >= len(sn.window) {
+				s.compact(sn)
 			}
 		}
 	}
+}
+
+// compact rewrites a node's window without its dead entries, preserving the
+// order of the live ones, and recycles the dead through the freelist.
+func (s *SharedSkyline) compact(sn *sharedNode) {
+	keep := sn.window[:0]
+	for _, w := range sn.window {
+		if w.alive == 0 {
+			s.free = append(s.free, w)
+			continue
+		}
+		keep = append(keep, w)
+	}
+	sn.window = keep
+	sn.dead = 0
 }
 
 // Candidates returns the payloads currently alive for query qi at its full
@@ -294,14 +460,19 @@ func (s *SharedSkyline) IsCandidate(payload, qi int) bool {
 	return e != nil && e.alive.Has(qi)
 }
 
-// PointVals returns the stored coordinates of an inserted point, or nil.
+// PointVals returns the stored coordinates of an inserted point (a view
+// into the shared arena, immutable once read), or nil for payloads beyond
+// the arena.
 func (s *SharedSkyline) PointVals(payload int) []float64 {
-	if payload < len(s.points) {
-		return s.points[payload]
+	if s.points != nil && payload < s.points.Len() {
+		return s.points.At(payload)
 	}
 	return nil
 }
 
-// WindowSize returns the current window size at the full-preference node of
-// query qi (for diagnostics and tests).
-func (s *SharedSkyline) WindowSize(qi int) int { return len(s.prefSN[qi].window) }
+// WindowSize returns the current number of live window entries at the
+// full-preference node of query qi (for diagnostics and tests).
+func (s *SharedSkyline) WindowSize(qi int) int {
+	sn := s.prefSN[qi]
+	return len(sn.window) - sn.dead
+}

@@ -25,6 +25,21 @@ func (q QSet) Add(i int) QSet { return q | (1 << uint(i)) }
 // Count returns the number of queries in the set.
 func (q QSet) Count() int { return bits.OnesCount64(uint64(q)) }
 
+// Next returns the smallest member index ≥ from, or -1 if none: the
+// allocation-free counterpart of Queries for hot loops,
+//
+//	for qi := qs.Next(0); qi >= 0; qi = qs.Next(qi + 1) { ... }
+func (q QSet) Next(from int) int {
+	if from >= 64 {
+		return -1
+	}
+	rest := uint64(q) >> uint(from)
+	if rest == 0 {
+		return -1
+	}
+	return from + bits.TrailingZeros64(rest)
+}
+
 // Queries returns the member indices in ascending order.
 func (q QSet) Queries() []int {
 	var out []int

@@ -40,6 +40,7 @@ func BBSProgressive(v preference.Subspace, points []Point, clock *metrics.Clock,
 	}
 
 	c := counter{clock}
+	kern := preference.NewKernel(v)
 	var sky []Point
 	h := &bbsHeap{}
 	heap.Push(h, bbsEntry{node: tree.Root(), key: tree.Root().MinSum(v)})
@@ -47,7 +48,8 @@ func BBSProgressive(v preference.Subspace, points []Point, clock *metrics.Clock,
 	dominatedBySky := func(lo []float64) bool {
 		for _, s := range sky {
 			c.cmp(1)
-			if preference.WeakDominatesIn(v, s.Vals, lo) && strictSomewhere(v, s.Vals, lo) {
+			// Weak dominance plus strictness somewhere = strict dominance.
+			if kern.Dominates(s.Vals, lo) {
 				return true
 			}
 		}
@@ -78,7 +80,7 @@ func BBSProgressive(v preference.Subspace, points []Point, clock *metrics.Clock,
 		if n.IsLeaf() {
 			for i := range n.Items {
 				it := &n.Items[i]
-				heap.Push(h, bbsEntry{item: it, key: sumOver(v, it.Point)})
+				heap.Push(h, bbsEntry{item: it, key: kern.Sum(it.Point)})
 			}
 		} else {
 			for _, ch := range n.Children {
@@ -87,25 +89,6 @@ func BBSProgressive(v preference.Subspace, points []Point, clock *metrics.Clock,
 		}
 	}
 	return sky
-}
-
-// strictSomewhere reports whether a is strictly smaller than b on at least
-// one dimension of v (completing weak dominance into strict).
-func strictSomewhere(v preference.Subspace, a, b []float64) bool {
-	for _, k := range v {
-		if a[k] < b[k] {
-			return true
-		}
-	}
-	return false
-}
-
-func sumOver(v preference.Subspace, p []float64) float64 {
-	s := 0.0
-	for _, k := range v {
-		s += p[k]
-	}
-	return s
 }
 
 // bbsEntry is one heap entry: either an R-tree node or a concrete item.

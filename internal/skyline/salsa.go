@@ -7,6 +7,30 @@ import (
 	"caqe/internal/preference"
 )
 
+// salsaSorter stable-sorts points by precomputed (min coordinate, sum)
+// keys, breaking ties by payload.
+type salsaSorter struct {
+	pts []Point
+	min []float64
+	sum []float64
+}
+
+func (s *salsaSorter) Len() int { return len(s.pts) }
+func (s *salsaSorter) Less(i, j int) bool {
+	if s.min[i] != s.min[j] {
+		return s.min[i] < s.min[j]
+	}
+	if s.sum[i] != s.sum[j] {
+		return s.sum[i] < s.sum[j]
+	}
+	return s.pts[i].Payload < s.pts[j].Payload
+}
+func (s *salsaSorter) Swap(i, j int) {
+	s.pts[i], s.pts[j] = s.pts[j], s.pts[i]
+	s.min[i], s.min[j] = s.min[j], s.min[i]
+	s.sum[i], s.sum[j] = s.sum[j], s.sum[i]
+}
+
 // SaLSa implements the Sort-and-Limit Skyline algorithm of Bartolini,
 // Ciaccia and Patella (CIKM 2006, cited in §8): points are sorted by the
 // *minimum* coordinate over the subspace (with the sum as tie-breaker) and
@@ -20,16 +44,8 @@ func SaLSa(v preference.Subspace, points []Point, clock *metrics.Clock) []Point 
 		return nil
 	}
 	c := counter{clock}
+	kern := preference.NewKernel(v)
 
-	minOf := func(p Point) float64 {
-		m := p.Vals[v[0]]
-		for _, k := range v[1:] {
-			if p.Vals[k] < m {
-				m = p.Vals[k]
-			}
-		}
-		return m
-	}
 	maxOf := func(p Point) float64 {
 		m := p.Vals[v[0]]
 		for _, k := range v[1:] {
@@ -39,42 +55,37 @@ func SaLSa(v preference.Subspace, points []Point, clock *metrics.Clock) []Point 
 		}
 		return m
 	}
-	sum := func(p Point) float64 {
-		s := 0.0
-		for _, k := range v {
-			s += p.Vals[k]
-		}
-		return s
-	}
 
 	sorted := append([]Point(nil), points...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		mi, mj := minOf(sorted[i]), minOf(sorted[j])
-		if mi != mj {
-			return mi < mj
+	mins := make([]float64, len(sorted))
+	sums := make([]float64, len(sorted))
+	for i, p := range sorted {
+		m := p.Vals[v[0]]
+		for _, k := range v[1:] {
+			if p.Vals[k] < m {
+				m = p.Vals[k]
+			}
 		}
-		si, sj := sum(sorted[i]), sum(sorted[j])
-		if si != sj {
-			return si < sj
-		}
-		return sorted[i].Payload < sorted[j].Payload
-	})
+		mins[i] = m
+		sums[i] = kern.Sum(p.Vals)
+	}
+	sort.Stable(&salsaSorter{pts: sorted, min: mins, sum: sums})
 
 	var window []Point
 	stop := maxOf(sorted[0]) // smallest max-coordinate among skyline members
 	stopValid := false
-	for _, p := range sorted {
+	for i, p := range sorted {
 		// Stopping condition: every remaining point q has
 		// min(q) ≥ min(p) > stop ⇒ the stop point dominates q on every
 		// dimension (its max ≤ each of q's coordinates, strictly below at
 		// least min(q)).
-		if stopValid && minOf(p) > stop {
+		if stopValid && mins[i] > stop {
 			break
 		}
 		dominated := false
 		for _, w := range window {
 			c.cmp(1)
-			if preference.DominatesIn(v, w.Vals, p.Vals) {
+			if kern.Dominates(w.Vals, p.Vals) {
 				dominated = true
 				break
 			}

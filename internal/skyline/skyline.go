@@ -6,7 +6,10 @@
 // All algorithms operate over arbitrary point sets in a given subspace and
 // count every pairwise dominance comparison through an optional
 // metrics.Clock, so that competing strategies can be compared on the paper's
-// "CPU usage" metric.
+// "CPU usage" metric. Dominance tests run through a preference.Kernel
+// resolved once per call — the subspace dimension list is never re-walked
+// per comparison — and the sort-based algorithms precompute their monotone
+// scores once instead of re-deriving them inside the comparator.
 package skyline
 
 import (
@@ -38,6 +41,7 @@ func (c counter) cmp(n int64) {
 // (the ground-truth oracle used by tests).
 func Naive(v preference.Subspace, points []Point, clock *metrics.Clock) []Point {
 	c := counter{clock}
+	kern := preference.NewKernel(v)
 	var out []Point
 	for i := range points {
 		dominated := false
@@ -46,7 +50,7 @@ func Naive(v preference.Subspace, points []Point, clock *metrics.Clock) []Point 
 				continue
 			}
 			c.cmp(1)
-			if preference.DominatesIn(v, points[j].Vals, points[i].Vals) {
+			if kern.Dominates(points[j].Vals, points[i].Vals) {
 				dominated = true
 				break
 			}
@@ -63,6 +67,7 @@ func Naive(v preference.Subspace, points []Point, clock *metrics.Clock) []Point 
 // window, evicting points it dominates and being discarded if dominated.
 func BNL(v preference.Subspace, points []Point, clock *metrics.Clock) []Point {
 	c := counter{clock}
+	kern := preference.NewKernel(v)
 	window := make([]Point, 0, 16)
 	for _, p := range points {
 		dominated := false
@@ -73,7 +78,7 @@ func BNL(v preference.Subspace, points []Point, clock *metrics.Clock) []Point {
 				continue
 			}
 			c.cmp(1)
-			switch preference.CompareIn(v, w.Vals, p.Vals) {
+			switch kern.Compare(w.Vals, p.Vals) {
 			case -1: // w dominates p
 				dominated = true
 				keep = append(keep, w)
@@ -107,37 +112,50 @@ func SFSProgressive(v preference.Subspace, points []Point, clock *metrics.Clock,
 	return sfsFiltered(v, sorted, clock, emit)
 }
 
+// scoredSorter stable-sorts points by a precomputed primary key, breaking
+// ties by payload. A concrete sort.Interface avoids both the per-comparison
+// score recomputation and the reflection-based swapping of sort.SliceStable.
+type scoredSorter struct {
+	pts []Point
+	key []float64
+}
+
+func (s *scoredSorter) Len() int { return len(s.pts) }
+func (s *scoredSorter) Less(i, j int) bool {
+	if s.key[i] != s.key[j] {
+		return s.key[i] < s.key[j]
+	}
+	return s.pts[i].Payload < s.pts[j].Payload
+}
+func (s *scoredSorter) Swap(i, j int) {
+	s.pts[i], s.pts[j] = s.pts[j], s.pts[i]
+	s.key[i], s.key[j] = s.key[j], s.key[i]
+}
+
 // SortByMonotoneScore returns a copy of points sorted ascending by the sum
 // of the subspace dimensions (a monotone function of the dominance order:
 // if a ≺_V b then score(a) < score(b)). Ties broken by payload for
 // determinism.
 func SortByMonotoneScore(v preference.Subspace, points []Point) []Point {
+	kern := preference.NewKernel(v)
 	sorted := append([]Point(nil), points...)
-	score := func(p Point) float64 {
-		s := 0.0
-		for _, k := range v {
-			s += p.Vals[k]
-		}
-		return s
+	keys := make([]float64, len(sorted))
+	for i := range sorted {
+		keys[i] = kern.Sum(sorted[i].Vals)
 	}
-	sort.SliceStable(sorted, func(i, j int) bool {
-		si, sj := score(sorted[i]), score(sorted[j])
-		if si != sj {
-			return si < sj
-		}
-		return sorted[i].Payload < sorted[j].Payload
-	})
+	sort.Stable(&scoredSorter{pts: sorted, key: keys})
 	return sorted
 }
 
 func sfsFiltered(v preference.Subspace, sorted []Point, clock *metrics.Clock, emit func(Point)) []Point {
 	c := counter{clock}
+	kern := preference.NewKernel(v)
 	window := make([]Point, 0, 16)
 	for _, p := range sorted {
 		dominated := false
 		for _, w := range window {
 			c.cmp(1)
-			if preference.DominatesIn(v, w.Vals, p.Vals) {
+			if kern.Dominates(w.Vals, p.Vals) {
 				dominated = true
 				break
 			}
@@ -157,12 +175,13 @@ func sfsFiltered(v preference.Subspace, sorted []Point, clock *metrics.Clock, em
 // primitive used for incremental skyline maintenance.
 func Filter(v preference.Subspace, candidates, filters []Point, clock *metrics.Clock) []Point {
 	c := counter{clock}
+	kern := preference.NewKernel(v)
 	out := candidates[:0:0]
 	for _, p := range candidates {
 		dominated := false
 		for _, f := range filters {
 			c.cmp(1)
-			if preference.DominatesIn(v, f.Vals, p.Vals) {
+			if kern.Dominates(f.Vals, p.Vals) {
 				dominated = true
 				break
 			}

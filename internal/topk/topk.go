@@ -186,6 +186,7 @@ type engine struct {
 	kth     []float64  // current k-th best score per query (inf until k results)
 	top     [][]result // per query: up to K best candidates, sorted ascending by (score, rid, tid)
 	emitted []int      // per query: results already delivered
+	js      join.Scratch
 }
 
 // buildRegions performs the coarse join: a cell pair becomes a region for
@@ -315,7 +316,9 @@ func (e *engine) processRegion(reg *tkRegion) {
 		if !used {
 			continue
 		}
-		results := join.NestedLoopPool(e.w.JoinConds[j], e.w.OutDims, reg.rc.Tuples, reg.tc.Tuples, e.clock, e.pool)
+		// Scratch results are valid only until the next join; offer copies
+		// the coordinates of the candidates it actually keeps.
+		results := e.js.NestedLoopPool(e.w.JoinConds[j], e.w.OutDims, reg.rc.Tuples, reg.tc.Tuples, e.clock, e.pool)
 		for _, res := range results {
 			for qi := range e.w.Queries {
 				if !reg.alive[qi] || e.w.Queries[qi].JC != j {
@@ -345,6 +348,9 @@ func (e *engine) offer(qi int, cand result) {
 	if pos >= capacity {
 		return // not better than the k-th candidate
 	}
+	// The candidate survives into the buffer (and may be emitted much
+	// later), so detach its coordinates from the caller's scratch backing.
+	cand.out = append([]float64(nil), cand.out...)
 	buf = append(buf, result{})
 	copy(buf[pos+1:], buf[pos:])
 	buf[pos] = cand
@@ -480,12 +486,14 @@ func Sequential(w *Workload, r, t *tuple.Relation, estTotals []int) (*run.Report
 	for i := range ts {
 		ts[i] = t.At(i)
 	}
+	var js join.Scratch
+	var cands []result
 	for _, qi := range order {
 		q := &w.Queries[qi]
-		results := join.NestedLoopPool(w.JoinConds[q.JC], w.OutDims, rs, ts, clock, parallel.Default())
-		cands := make([]result, len(results))
-		for i, res := range results {
-			cands[i] = result{score: q.Score(res.Out), rid: res.RID, tid: res.TID, out: res.Out}
+		results := js.NestedLoopPool(w.JoinConds[q.JC], w.OutDims, rs, ts, clock, parallel.Default())
+		cands = cands[:0]
+		for _, res := range results {
+			cands = append(cands, result{score: q.Score(res.Out), rid: res.RID, tid: res.TID, out: res.Out})
 		}
 		clock.CountSkylineCmp(int64(len(cands))) // ordering cost, one charge per element
 		sort.SliceStable(cands, func(a, b int) bool { return lessResult(cands[a], cands[b]) })
@@ -495,7 +503,9 @@ func Sequential(w *Workload, r, t *tuple.Relation, estTotals []int) (*run.Report
 		now := clock.Now() / metrics.VirtualSecond
 		for _, cand := range cands {
 			clock.CountEmit(1)
-			rep.Emit(run.Emission{Query: qi, RID: cand.rid, TID: cand.tid, Out: cand.out, Time: now})
+			// Emissions outlive the scratch buffers: copy the coordinates.
+			out := append([]float64(nil), cand.out...)
+			rep.Emit(run.Emission{Query: qi, RID: cand.rid, TID: cand.tid, Out: out, Time: now})
 		}
 	}
 	rep.Finish(clock.Now()/metrics.VirtualSecond, clock.Counters())
