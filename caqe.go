@@ -61,10 +61,10 @@ import (
 	"caqe/internal/core"
 	"caqe/internal/datagen"
 	"caqe/internal/join"
-	"caqe/internal/metrics"
 	"caqe/internal/preference"
 	"caqe/internal/run"
 	"caqe/internal/topk"
+	"caqe/internal/trace"
 	"caqe/internal/tuple"
 	"caqe/internal/workload"
 )
@@ -94,9 +94,50 @@ type (
 	Report = run.Report
 	// Emission is one result delivered to one query.
 	Emission = run.Emission
-	// Options tunes the CAQE engine.
+	// Options tunes the CAQE engine. It is itself a RunOption — passing a
+	// bare Options value to Run or RunStrategy installs it as the engine
+	// options, so call sites predating the variadic API keep compiling.
 	Options = core.Options
 )
+
+// Execution tracing, re-exported from internal/trace. A Tracer attached
+// via WithTracer (or Options.Tracer) receives one structured event per
+// optimizer decision, emission batch and feedback update; tracing performs
+// no counted work, so a traced run's report is byte-identical to an
+// untraced one.
+type (
+	// Tracer consumes structured execution events.
+	Tracer = trace.Tracer
+	// TraceEvent is one structured execution event.
+	TraceEvent = trace.Event
+	// TraceKind discriminates trace events.
+	TraceKind = trace.Kind
+	// JSONLTracer streams events to an io.Writer as JSON Lines.
+	JSONLTracer = trace.JSONLWriter
+	// TraceAggregator folds events into live per-query satisfaction
+	// timelines and counter snapshots, readable mid-execution.
+	TraceAggregator = trace.Aggregator
+	// TraceSnapshot is one aggregated view of a (possibly running) trace.
+	TraceSnapshot = trace.Snapshot
+)
+
+// NewJSONLTracer returns a Tracer streaming events to w as JSON Lines,
+// one schema-validated object per line. Call Flush when the run is done.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return trace.NewJSONLWriter(w) }
+
+// NewTraceAggregator returns a Tracer that folds events into live
+// per-query delivery/satisfaction timelines for the given workload.
+// estTotals has the same meaning as in WithTotals; pass nil if unknown.
+func NewTraceAggregator(w *Workload, estTotals []int) *TraceAggregator {
+	contracts := make([]contract.Contract, len(w.Queries))
+	for i, q := range w.Queries {
+		contracts[i] = q.Contract
+	}
+	return trace.NewAggregator(contracts, estTotals)
+}
+
+// MultiTracer fans events out to several sinks (nil sinks are skipped).
+func MultiTracer(sinks ...Tracer) Tracer { return trace.Multi(sinks...) }
 
 // NewRelation returns an empty relation with the given schema.
 func NewRelation(schema Schema) *Relation { return tuple.NewRelation(schema) }
@@ -144,76 +185,140 @@ func CustomContract(name string, fn func(ts float64) float64) Contract {
 	return contract.Func(name, fn)
 }
 
+// RunOption configures one aspect of an execution — see WithTotals,
+// WithWorkers, WithOnEmit and WithTracer. A bare Options value is also a
+// RunOption (it installs the whole engine-options block). Options apply in
+// the order given.
+type RunOption = core.RunOption
+
+// WithTotals supplies the exact final result cardinality of each query for
+// cardinality-based contracts. Without it such contracts treat any
+// delivery as quota-meeting; use GroundTruth to obtain exact totals.
+func WithTotals(estTotals []int) RunOption {
+	return core.RunOptionFunc(func(c *core.RunConfig) { c.Totals = estTotals })
+}
+
+// WithWorkers sizes the join worker pool (0 = all cores, 1 = serial). The
+// report is bit-identical for any worker count — same emissions, same
+// virtual timestamps, same counters — only wall-clock time changes; see
+// the determinism contract in internal/metrics.
+func WithWorkers(n int) RunOption {
+	return core.RunOptionFunc(func(c *core.RunConfig) { c.Opt.Workers = n })
+}
+
+// WithOnEmit installs a consumption hook called synchronously for every
+// result at the moment the engine proves it final, before execution
+// continues — the programmatic equivalent of the paper's progressive
+// result reporting.
+func WithOnEmit(fn func(Emission)) RunOption {
+	return core.RunOptionFunc(func(c *core.RunConfig) { c.OnEmit = fn })
+}
+
+// WithTracer attaches a structured trace sink to the execution (see
+// NewJSONLTracer, NewTraceAggregator, MultiTracer). It takes precedence
+// over Options.Tracer when both are given.
+func WithTracer(tr Tracer) RunOption {
+	return core.RunOptionFunc(func(c *core.RunConfig) { c.Tracer = tr })
+}
+
 // Run executes the workload with the CAQE engine and returns the report.
-// estTotals optionally supplies the exact final result cardinality of each
-// query for cardinality-based contracts; pass nil to let such contracts
-// treat any delivery as quota-meeting. Use GroundTruth to obtain exact
-// totals.
-func Run(w *Workload, r, t *Relation, opt Options) (*Report, error) {
-	return RunWithTotals(w, r, t, opt, nil)
+//
+//	report, err := caqe.Run(w, hotels, tours,
+//	    caqe.Options{},
+//	    caqe.WithTotals(totals),
+//	    caqe.WithOnEmit(func(e caqe.Emission) { ... }))
+func Run(w *Workload, r, t *Relation, opts ...RunOption) (*Report, error) {
+	cfg := core.NewRunConfig(opts...)
+	eng, err := core.New(w, r, t, cfg.Opt)
+	if err != nil {
+		return nil, err
+	}
+	return eng.ExecuteRun(cfg.Totals, cfg.OnEmit)
 }
 
 // RunWithTotals is Run with explicit per-query result cardinalities.
+//
+// Deprecated: use Run with WithTotals.
 func RunWithTotals(w *Workload, r, t *Relation, opt Options, estTotals []int) (*Report, error) {
-	eng, err := core.New(w, r, t, opt)
-	if err != nil {
-		return nil, err
-	}
-	return eng.Execute(estTotals)
+	return Run(w, r, t, opt, WithTotals(estTotals))
 }
 
-// RunProgressive is RunWithTotals with a consumption hook: onEmit is called
-// synchronously for every result at the moment the engine proves it final,
-// before execution continues — the programmatic equivalent of the paper's
-// progressive result reporting.
+// RunProgressive is Run with explicit totals and a consumption hook.
+//
+// Deprecated: use Run with WithTotals and WithOnEmit.
 func RunProgressive(w *Workload, r, t *Relation, opt Options, estTotals []int, onEmit func(Emission)) (*Report, error) {
-	eng, err := core.New(w, r, t, opt)
-	if err != nil {
-		return nil, err
-	}
-	clock := metrics.NewClock()
-	rep := run.NewReport("CAQE", w, estTotals)
-	rep.OnEmit = onEmit
-	if err := eng.ExecuteInto(clock, rep, nil); err != nil {
-		return nil, err
-	}
-	rep.Finish(clock.Now()/metrics.VirtualSecond, clock.Counters())
-	return rep, nil
+	return Run(w, r, t, opt, WithTotals(estTotals), WithOnEmit(onEmit))
 }
 
-// Strategies returns the names of all execution strategies available to
-// RunStrategy: the paper's five-way comparison (CAQE, S-JFSL, JFSL,
-// ProgXe+, SSMJ) plus the classical time-shared MQP executor of §1.3.
-func Strategies() []string {
-	var names []string
-	for _, s := range allStrategies(0) {
-		names = append(names, s.Name)
+// StrategyName identifies one execution strategy runnable by RunStrategy.
+type StrategyName string
+
+// The available execution strategies: the paper's five-way comparison
+// (CAQE, S-JFSL, JFSL, ProgXe+, SSMJ) plus the classical time-shared MQP
+// executor of §1.3.
+const (
+	StrategyCAQE       StrategyName = "CAQE"
+	StrategySJFSL      StrategyName = "S-JFSL"
+	StrategyJFSL       StrategyName = "JFSL"
+	StrategyProgXePlus StrategyName = "ProgXe+"
+	StrategySSMJ       StrategyName = "SSMJ"
+	StrategyTimeShared StrategyName = "TimeShared"
+)
+
+// StrategyNames returns every strategy runnable by RunStrategy, in the
+// paper's comparison order.
+func StrategyNames() []StrategyName {
+	var names []StrategyName
+	for _, s := range allStrategies(baseline.Options{}) {
+		names = append(names, StrategyName(s.Name))
 	}
 	return names
 }
 
-func allStrategies(workers int) []baseline.Strategy {
-	return append(baseline.All(baseline.Options{Workers: workers}), baseline.Extra()...)
+// Strategies returns the strategy names as plain strings.
+//
+// Deprecated: use StrategyNames.
+func Strategies() []string {
+	var names []string
+	for _, n := range StrategyNames() {
+		names = append(names, string(n))
+	}
+	return names
 }
 
-// RunStrategy executes the workload under the named strategy (see
-// Strategies), enabling side-by-side comparisons on identical inputs.
-func RunStrategy(name string, w *Workload, r, t *Relation, estTotals []int) (*Report, error) {
-	return RunStrategyWithWorkers(name, w, r, t, estTotals, 0)
+func allStrategies(opt baseline.Options) []baseline.Strategy {
+	return append(baseline.All(opt), baseline.Extra(opt)...)
+}
+
+// RunStrategy executes the workload under the named strategy, enabling
+// side-by-side comparisons on identical inputs. It accepts the same
+// options as Run; of a bare Options value the comparison strategies honor
+// the granularity knobs (TargetCells, GridResolution, Workers) and the
+// tracer, while engine-specific ablation toggles apply only to CAQE runs
+// via Run.
+func RunStrategy(name StrategyName, w *Workload, r, t *Relation, opts ...RunOption) (*Report, error) {
+	cfg := core.NewRunConfig(opts...)
+	bopt := baseline.Options{
+		TargetCells:    cfg.Opt.TargetCells,
+		GridResolution: cfg.Opt.GridResolution,
+		Workers:        cfg.Opt.Workers,
+		OnEmit:         cfg.OnEmit,
+		Tracer:         cfg.Opt.Tracer,
+	}
+	for _, s := range allStrategies(bopt) {
+		if s.Name == string(name) {
+			return s.Run(w, r, t, cfg.Totals)
+		}
+	}
+	return nil, fmt.Errorf("caqe: unknown strategy %q (have %v)", name, StrategyNames())
 }
 
 // RunStrategyWithWorkers is RunStrategy with an explicit join worker pool
-// size (0 = all cores, 1 = serial). The report is bit-identical for any
-// worker count — same emissions, same virtual timestamps, same counters —
-// only wall-clock time changes; see the determinism contract in
-// internal/metrics.
+// size and explicit totals.
+//
+// Deprecated: use RunStrategy with WithTotals and WithWorkers.
 func RunStrategyWithWorkers(name string, w *Workload, r, t *Relation, estTotals []int, workers int) (*Report, error) {
-	for _, s := range allStrategies(workers) {
-		if s.Name == name {
-			return s.Run(w, r, t, estTotals)
-		}
-	}
-	return nil, fmt.Errorf("caqe: unknown strategy %q (have %v)", name, Strategies())
+	return RunStrategy(StrategyName(name), w, r, t, WithTotals(estTotals), WithWorkers(workers))
 }
 
 // GroundTruth computes the exact final result cardinality of every query

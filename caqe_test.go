@@ -84,7 +84,7 @@ func TestStrategiesAndRunStrategy(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range names {
-		rep, err := caqe.RunStrategy(name, w, r, tt, totals)
+		rep, err := caqe.RunStrategy(caqe.StrategyName(name), w, r, tt, caqe.WithTotals(totals))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -95,7 +95,7 @@ func TestStrategiesAndRunStrategy(t *testing.T) {
 			}
 		}
 	}
-	if _, err := caqe.RunStrategy("nope", w, r, tt, nil); err == nil {
+	if _, err := caqe.RunStrategy("nope", w, r, tt); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }

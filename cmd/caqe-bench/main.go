@@ -7,7 +7,13 @@
 //
 //	caqe-bench [-fig 9a|9b|9c|10|10a|10b|10c|11a|11b|all] [-n rows]
 //	           [-queries k] [-dims d] [-sel σ] [-seed s] [-cells c]
-//	           [-workers w] [-cpuprofile file] [-memprofile file]
+//	           [-workers w] [-trace file] [-cpuprofile file] [-memprofile file]
+//
+// With -trace every measured strategy run streams its structured execution
+// trace (scheduling decisions, emission batches, feedback updates) to the
+// given JSONL file; calibration passes are excluded. Tracing performs no
+// counted work, so the reported tables are byte-identical with or without
+// it. Inspect the stream with cmd/caqe-trace.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 
 	"caqe/internal/bench"
 	"caqe/internal/datagen"
+	"caqe/internal/trace"
 )
 
 func main() {
@@ -32,6 +39,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "dataset seed (default 2014)")
 		cells      = flag.Int("cells", 0, "quad-tree leaf cells per relation (default 24)")
 		workers    = flag.Int("workers", 0, "join worker pool size (default all cores; any value yields identical results)")
+		traceFile  = flag.String("trace", "", "write the structured execution trace of every measured run to this JSONL file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -41,6 +49,22 @@ func main() {
 		N: *n, NumQueries: *queries, Dims: *dims,
 		Selectivity: *sel, Seed: *seed, TargetCells: *cells,
 		Workers: *workers,
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caqe-bench: -trace: %v\n", err)
+			os.Exit(1)
+		}
+		jw := trace.NewJSONLWriter(f)
+		cfg.Tracer = jw
+		defer func() {
+			if err := jw.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "caqe-bench: writing trace: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if *cpuprofile != "" {

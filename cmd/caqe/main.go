@@ -6,9 +6,12 @@
 //
 //	caqe [-n rows] [-queries k] [-dims d] [-dist independent|correlated|anti]
 //	     [-sel σ] [-contract C1|C2|C3|C4|C5] [-deadline vsec] [-seed s]
-//	     [-strategy CAQE|S-JFSL|JFSL|ProgXe+|SSMJ|all] [-v]
+//	     [-strategy CAQE|S-JFSL|JFSL|ProgXe+|SSMJ|all] [-v] [-trace out.jsonl]
 //
 // With -v the chosen strategy's emissions are streamed as they happen.
+// With -trace the structured execution trace (scheduling decisions,
+// emission batches, feedback updates) is written as JSON Lines; inspect it
+// with cmd/caqe-trace.
 package main
 
 import (
@@ -21,33 +24,33 @@ import (
 	"caqe/internal/contract"
 	"caqe/internal/core"
 	"caqe/internal/datagen"
-	"caqe/internal/run"
 	"caqe/internal/workload"
 )
 
 func main() {
 	var (
-		n        = flag.Int("n", 1000, "rows per relation")
-		queries  = flag.Int("queries", 11, "workload size |S_Q|")
-		dims     = flag.Int("dims", 4, "output dimensionality d")
-		distName = flag.String("dist", "independent", "data distribution: independent, correlated, anti")
-		sel      = flag.Float64("sel", 0.05, "join selectivity σ")
-		class    = flag.String("contract", "C3", "contract class: C1..C5")
-		deadline = flag.Float64("deadline", 100, "deadline / interval scale in virtual seconds (C1, C3, C4, C5)")
-		seed     = flag.Int64("seed", 1, "dataset seed")
-		strategy = flag.String("strategy", "all", "strategy to run, or 'all' to compare")
-		verbose  = flag.Bool("v", false, "stream emissions (single strategy only)")
-		explain  = flag.Bool("explain", false, "print the derived shared plan and output space, then exit")
+		n         = flag.Int("n", 1000, "rows per relation")
+		queries   = flag.Int("queries", 11, "workload size |S_Q|")
+		dims      = flag.Int("dims", 4, "output dimensionality d")
+		distName  = flag.String("dist", "independent", "data distribution: independent, correlated, anti")
+		sel       = flag.Float64("sel", 0.05, "join selectivity σ")
+		class     = flag.String("contract", "C3", "contract class: C1..C5")
+		deadline  = flag.Float64("deadline", 100, "deadline / interval scale in virtual seconds (C1, C3, C4, C5)")
+		seed      = flag.Int64("seed", 1, "dataset seed")
+		strategy  = flag.String("strategy", "all", "strategy to run, or 'all' to compare")
+		verbose   = flag.Bool("v", false, "stream emissions (single strategy only)")
+		explain   = flag.Bool("explain", false, "print the derived shared plan and output space, then exit")
+		traceFile = flag.String("trace", "", "write the structured execution trace to this JSONL file")
 	)
 	flag.Parse()
 
-	if err := runCLI(*n, *queries, *dims, *distName, *sel, *class, *deadline, *seed, *strategy, *verbose, *explain); err != nil {
+	if err := runCLI(*n, *queries, *dims, *distName, *sel, *class, *deadline, *seed, *strategy, *verbose, *explain, *traceFile); err != nil {
 		fmt.Fprintf(os.Stderr, "caqe: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func runCLI(n, queries, dims int, distName string, sel float64, class string, deadline float64, seed int64, strategy string, verbose, explain bool) error {
+func runCLI(n, queries, dims int, distName string, sel float64, class string, deadline float64, seed int64, strategy string, verbose, explain bool, traceFile string) error {
 	dist, err := datagen.ParseDistribution(distName)
 	if err != nil {
 		return err
@@ -89,11 +92,17 @@ func runCLI(n, queries, dims int, distName string, sel float64, class string, de
 		return nil
 	}
 
+	tracer, flushTrace, err := openTracer(traceFile)
+	if err != nil {
+		return err
+	}
+	defer flushTrace()
+
 	if strategy != "all" {
-		return runOne(w, r, t, totals, strategy, verbose)
+		return runOne(w, r, t, totals, strategy, verbose, tracer)
 	}
 	fmt.Printf("%-9s %9s %12s %12s %12s %10s\n", "strategy", "avg-sat", "end(vs)", "joinResults", "skylineCmps", "emitted")
-	for _, s := range baseline.All(baseline.Options{}) {
+	for _, s := range baseline.All(baseline.Options{Tracer: tracer}) {
 		rep, err := s.Run(w, r, t, totals)
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.Name, err)
@@ -105,25 +114,42 @@ func runCLI(n, queries, dims int, distName string, sel float64, class string, de
 	return nil
 }
 
-func runOne(w *workload.Workload, r, t *caqe.Relation, totals []int, name string, verbose bool) error {
-	var rep *run.Report
-	var err error
-	if verbose && name == "CAQE" {
-		rep, err = caqe.RunProgressive(w, r, t, caqe.Options{}, totals, func(e caqe.Emission) {
-			fmt.Printf("[t=%9.2fs] %-4s R#%-5d T#%-5d %v\n", e.Time, w.Queries[e.Query].Name, e.RID, e.TID, e.Out)
-		})
-	} else {
-		rep, err = caqe.RunStrategy(name, w, r, t, totals)
-		if err == nil && verbose {
-			for qi := range rep.PerQuery {
-				for _, e := range rep.PerQuery[qi] {
-					fmt.Printf("[t=%9.2fs] %-4s R#%-5d T#%-5d %v\n", e.Time, w.Queries[e.Query].Name, e.RID, e.TID, e.Out)
-				}
-			}
-		}
+// openTracer opens a JSONL trace sink for the given path ("" = tracing
+// off). The returned flush both flushes the stream and closes the file.
+func openTracer(path string) (caqe.Tracer, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	jw := caqe.NewJSONLTracer(f)
+	return jw, func() {
+		if err := jw.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "caqe: writing trace: %v\n", err)
+		}
+		f.Close()
+	}, nil
+}
+
+func runOne(w *workload.Workload, r, t *caqe.Relation, totals []int, name string, verbose bool, tracer caqe.Tracer) error {
+	opts := []caqe.RunOption{caqe.WithTotals(totals), caqe.WithTracer(tracer)}
+	if verbose && name == "CAQE" {
+		opts = append(opts, caqe.WithOnEmit(func(e caqe.Emission) {
+			fmt.Printf("[t=%9.2fs] %-4s R#%-5d T#%-5d %v\n", e.Time, w.Queries[e.Query].Name, e.RID, e.TID, e.Out)
+		}))
+	}
+	rep, err := caqe.RunStrategy(caqe.StrategyName(name), w, r, t, opts...)
 	if err != nil {
 		return err
+	}
+	if verbose && name != "CAQE" {
+		for qi := range rep.PerQuery {
+			for _, e := range rep.PerQuery[qi] {
+				fmt.Printf("[t=%9.2fs] %-4s R#%-5d T#%-5d %v\n", e.Time, w.Queries[e.Query].Name, e.RID, e.TID, e.Out)
+			}
+		}
 	}
 	fmt.Printf("\n%s finished at %.1f virtual seconds; workload satisfaction %.3f\n",
 		rep.Strategy, rep.EndTime, rep.AvgSatisfaction())

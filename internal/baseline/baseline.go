@@ -19,6 +19,7 @@ import (
 	"caqe/internal/parallel"
 	"caqe/internal/run"
 	"caqe/internal/skyline"
+	"caqe/internal/trace"
 	"caqe/internal/tuple"
 	"caqe/internal/workload"
 )
@@ -33,6 +34,16 @@ type Options struct {
 	TargetCells    int
 	GridResolution int
 	Workers        int
+
+	// OnEmit is forwarded to every strategy's report: it fires synchronously
+	// for each result the moment the strategy delivers it.
+	OnEmit func(run.Emission)
+	// Tracer receives the structured execution trace of every strategy run:
+	// scheduling decisions, emission batches and (for CAQE) feedback
+	// updates, bracketed by start/end events. Like the core engine's
+	// tracer, it performs no counted work — reports are byte-identical with
+	// tracing on or off.
+	Tracer trace.Tracer
 }
 
 // pool returns the join worker pool for the configured worker count.
@@ -56,24 +67,43 @@ func All(opt Options) []Strategy {
 		{Name: "CAQE", Run: func(w *workload.Workload, r, t *tuple.Relation, est []int) (*run.Report, error) {
 			eng, err := core.New(w, r, t, core.Options{
 				TargetCells: opt.TargetCells, GridResolution: opt.GridResolution,
-				Workers: opt.Workers,
+				Workers: opt.Workers, Tracer: opt.Tracer,
 			})
 			if err != nil {
 				return nil, err
 			}
-			return eng.Execute(est)
+			return eng.ExecuteRun(est, opt.OnEmit)
 		}},
 		{Name: "S-JFSL", Run: func(w *workload.Workload, r, t *tuple.Relation, est []int) (*run.Report, error) {
 			return SJFSL(w, r, t, est, opt)
 		}},
 		{Name: "JFSL", Run: func(w *workload.Workload, r, t *tuple.Relation, est []int) (*run.Report, error) {
-			return jfsl(w, r, t, est, opt.pool())
+			return jfsl(w, r, t, est, opt)
 		}},
 		{Name: "ProgXe+", Run: func(w *workload.Workload, r, t *tuple.Relation, est []int) (*run.Report, error) {
 			return ProgXe(w, r, t, est, opt)
 		}},
-		{Name: "SSMJ", Run: SSMJ},
+		{Name: "SSMJ", Run: func(w *workload.Workload, r, t *tuple.Relation, est []int) (*run.Report, error) {
+			return ssmj(w, r, t, est, opt)
+		}},
 	}
+}
+
+// traceQueryDecision records a non-sharing baseline's scheduling decision:
+// the next whole query granted processing time. Region is -1 (these
+// strategies do not schedule regions).
+func traceQueryDecision(rep *run.Report, clock *metrics.Clock, qi int) {
+	tr := rep.Tracer()
+	if tr == nil {
+		return
+	}
+	rep.FlushTrace()
+	ev := trace.New(trace.KindDecision)
+	ev.Strategy = rep.Strategy
+	ev.T = clock.Now() / metrics.VirtualSecond
+	ev.Query = qi
+	ev.Queries = []int{qi}
+	tr.Trace(ev)
 }
 
 // tuplesOf returns the tuple pointers of a relation.
@@ -158,20 +188,24 @@ func GroundTruthReport(w *workload.Workload, r, t *tuple.Relation) (*run.Report,
 // finishes — the worst case for progressiveness and, with no sharing, for
 // work (§7.3 reports it needs up to 66× more comparisons than CAQE).
 func JFSL(w *workload.Workload, r, t *tuple.Relation, estTotals []int) (*run.Report, error) {
-	return jfsl(w, r, t, estTotals, parallel.Default())
+	return jfsl(w, r, t, estTotals, Options{})
 }
 
-// jfsl runs JFSL with the full nested-loop joins fanned out over the given
-// pool; the report is bit-identical for any pool size.
-func jfsl(w *workload.Workload, r, t *tuple.Relation, estTotals []int, pool *parallel.Pool) (*run.Report, error) {
+// jfsl runs JFSL with the full nested-loop joins fanned out over the
+// configured pool; the report is bit-identical for any pool size.
+func jfsl(w *workload.Workload, r, t *tuple.Relation, estTotals []int, opt Options) (*run.Report, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
+	pool := opt.pool()
 	clock := metrics.NewClock()
 	rep := run.NewReport("JFSL", w, estTotals)
+	rep.OnEmit = opt.OnEmit
+	rep.StartTrace(opt.Tracer)
 	rs, ts := tuplesOf(r), tuplesOf(t)
 	for _, qi := range w.ByPriority() {
 		q := w.Queries[qi]
+		traceQueryDecision(rep, clock, qi)
 		results := join.NestedLoopPool(w.JoinConds[q.JC], w.OutDims, rs, ts, clock, pool)
 		sky := skyline.BNL(q.Pref, toPoints(results), clock)
 		now := clock.Now() / metrics.VirtualSecond
@@ -195,6 +229,7 @@ func SJFSL(w *workload.Workload, r, t *tuple.Relation, estTotals []int, opt Opti
 		TargetCells:            opt.TargetCells,
 		GridResolution:         opt.GridResolution,
 		Workers:                opt.Workers,
+		Tracer:                 opt.Tracer,
 		DataOrderScheduling:    true,
 		DisableRegionDiscard:   true,
 		DisableFeedback:        true,
@@ -205,6 +240,8 @@ func SJFSL(w *workload.Workload, r, t *tuple.Relation, estTotals []int, opt Opti
 	}
 	clock := metrics.NewClock()
 	rep := run.NewReport("S-JFSL", w, estTotals)
+	rep.OnEmit = opt.OnEmit
+	rep.StartTrace(opt.Tracer)
 	if err := eng.ExecuteInto(clock, rep, nil); err != nil {
 		return nil, err
 	}
@@ -223,12 +260,16 @@ func ProgXe(w *workload.Workload, r, t *tuple.Relation, estTotals []int, opt Opt
 	}
 	clock := metrics.NewClock()
 	rep := run.NewReport("ProgXe+", w, estTotals)
+	rep.OnEmit = opt.OnEmit
+	rep.StartTrace(opt.Tracer)
 	for _, qi := range w.ByPriority() {
 		sub := singleQuery(w, qi)
+		traceQueryDecision(rep, clock, qi)
 		eng, err := core.New(sub, r, t, core.Options{
 			TargetCells:            opt.TargetCells,
 			GridResolution:         opt.GridResolution,
 			Workers:                opt.Workers,
+			Tracer:                 opt.Tracer,
 			DisableContractBenefit: true,
 			DisableFeedback:        true,
 		})

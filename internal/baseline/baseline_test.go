@@ -283,8 +283,8 @@ func TestTimeSharedNoSharing(t *testing.T) {
 }
 
 func TestExtraStrategies(t *testing.T) {
-	extra := Extra()
+	extra := Extra(Options{})
 	if len(extra) != 1 || extra[0].Name != "TimeShared" {
-		t.Fatalf("Extra() = %v", extra)
+		t.Fatalf("Extra(Options{}) = %v", extra)
 	}
 }

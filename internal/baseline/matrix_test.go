@@ -48,7 +48,7 @@ func TestOracleMatrix(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				strategies := append(All(Options{TargetCells: 6, GridResolution: 16}), Extra()...)
+				strategies := append(All(Options{TargetCells: 6, GridResolution: 16}), Extra(Options{})...)
 				for _, s := range strategies {
 					rep, err := s.Run(w, r, tt, totals)
 					if err != nil {

@@ -24,13 +24,22 @@ import (
 // sharing). Input sort comparisons are charged as cheap coarse operations;
 // dominance comparisons at full cost.
 func SSMJ(w *workload.Workload, r, t *tuple.Relation, estTotals []int) (*run.Report, error) {
+	return ssmj(w, r, t, estTotals, Options{})
+}
+
+// ssmj runs SSMJ with the report wiring (OnEmit, Tracer) from opt; the
+// join/skyline work itself ignores the partitioning knobs.
+func ssmj(w *workload.Workload, r, t *tuple.Relation, estTotals []int, opt Options) (*run.Report, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	clock := metrics.NewClock()
 	rep := run.NewReport("SSMJ", w, estTotals)
+	rep.OnEmit = opt.OnEmit
+	rep.StartTrace(opt.Tracer)
 	for _, qi := range w.ByPriority() {
 		q := w.Queries[qi]
+		traceQueryDecision(rep, clock, qi)
 		results := streamingSkylineJoin(w.JoinConds[q.JC], w.OutDims, q.Pref,
 			tuplesOf(r), tuplesOf(t), clock)
 		now := clock.Now() / metrics.VirtualSecond

@@ -24,11 +24,19 @@ const TimeSharedQuantum = 2048
 // not practical for resource-intensive skyline-over-join workloads (§1.3);
 // this implementation lets that claim be measured.
 func TimeShared(w *workload.Workload, r, t *tuple.Relation, estTotals []int) (*run.Report, error) {
+	return timeShared(w, r, t, estTotals, Options{})
+}
+
+// timeShared runs TimeShared with the report wiring (OnEmit, Tracer) from
+// opt. Every round-robin slice grant is traced as one scheduling decision.
+func timeShared(w *workload.Workload, r, t *tuple.Relation, estTotals []int, opt Options) (*run.Report, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	clock := metrics.NewClock()
 	rep := run.NewReport("TimeShared", w, estTotals)
+	rep.OnEmit = opt.OnEmit
+	rep.StartTrace(opt.Tracer)
 	rs, ts := tuplesOf(r), tuplesOf(t)
 
 	tasks := make([]*tsTask, len(w.Queries))
@@ -50,6 +58,7 @@ func TimeShared(w *workload.Workload, r, t *tuple.Relation, estTotals []int) (*r
 			if task.done {
 				continue
 			}
+			traceQueryDecision(rep, clock, task.query)
 			task.advance(TimeSharedQuantum, clock)
 			if task.done {
 				remaining--
@@ -138,8 +147,10 @@ func (k *tsTask) insert(res join.Result, clock *metrics.Clock) {
 
 // Extra returns the additional strategies beyond the paper's five-way
 // comparison: currently the classical time-shared MQP executor.
-func Extra() []Strategy {
+func Extra(opt Options) []Strategy {
 	return []Strategy{
-		{Name: "TimeShared", Run: TimeShared},
+		{Name: "TimeShared", Run: func(w *workload.Workload, r, t *tuple.Relation, est []int) (*run.Report, error) {
+			return timeShared(w, r, t, est, opt)
+		}},
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"caqe/internal/contract"
 	"caqe/internal/datagen"
 	"caqe/internal/run"
+	"caqe/internal/trace"
 	"caqe/internal/tuple"
 	"caqe/internal/workload"
 )
@@ -37,6 +38,11 @@ type Config struct {
 	TargetCells    int     // quad-tree leaves per relation
 	GridResolution int     // output grid resolution
 	Workers        int     // join worker pool size (0 = all cores; results identical)
+
+	// Tracer, when set, receives the structured execution trace of every
+	// measured strategy run. Calibration passes stay untraced so the stream
+	// holds exactly the runs behind the reported numbers.
+	Tracer trace.Tracer
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -79,7 +85,10 @@ func (c Config) withDefaults() Config {
 }
 
 func (c Config) baselineOptions() baseline.Options {
-	return baseline.Options{TargetCells: c.TargetCells, GridResolution: c.GridResolution, Workers: c.Workers}
+	return baseline.Options{
+		TargetCells: c.TargetCells, GridResolution: c.GridResolution,
+		Workers: c.Workers, Tracer: c.Tracer,
+	}
 }
 
 // ContractClasses lists the Table 2 contract classes in paper order.
@@ -187,7 +196,9 @@ func (c Config) calibrate(r, t *tuple.Relation) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	rep, err := baseline.SJFSL(w, r, t, nil, c.baselineOptions())
+	opt := c.baselineOptions()
+	opt.Tracer = nil // calibration is not a measured run
+	rep, err := baseline.SJFSL(w, r, t, nil, opt)
 	if err != nil {
 		return 0, err
 	}

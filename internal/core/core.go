@@ -14,6 +14,7 @@ import (
 	"caqe/internal/region"
 	"caqe/internal/run"
 	"caqe/internal/skycube"
+	"caqe/internal/trace"
 	"caqe/internal/tuple"
 	"caqe/internal/workload"
 )
@@ -65,9 +66,22 @@ type Options struct {
 
 	// Trace, when set, receives one event per scheduling decision: regions
 	// picked for tuple-level processing, deferred after a score refresh, or
-	// discarded by generated results. Intended for debugging and tooling;
-	// tracing does not affect the schedule or the virtual clock.
+	// discarded by generated results.
+	//
+	// Deprecated: Trace predates the structured observability layer and
+	// carries only a fraction of each decision. Use Tracer, which records
+	// the chosen region's CSM, the runner-up, the scheduling frontier,
+	// emission batches and feedback updates. Both hooks keep firing.
 	Trace func(TraceEvent)
+
+	// Tracer, when set, receives the structured execution trace of the
+	// run: one event per optimizer decision (chosen region, its CSM, the
+	// runner-up and the frontier size), per region defer/discard, per
+	// emission batch and per Eq. 11 feedback update, bracketed by start
+	// and end events. Tracing performs no counted work — the schedule,
+	// virtual timestamps and counters of a traced run are byte-identical
+	// to an untraced one — and costs a single nil check when unset.
+	Tracer trace.Tracer
 }
 
 // TraceEvent describes one optimizer decision.
@@ -143,8 +157,20 @@ func New(w *workload.Workload, r, t *tuple.Relation, opt Options) (*Engine, erro
 // estTotals optionally supplies the final result cardinality N per query
 // for cardinality-based contracts (nil if unknown).
 func (e *Engine) Execute(estTotals []int) (*run.Report, error) {
+	return e.ExecuteRun(estTotals, nil)
+}
+
+// ExecuteRun is the single execution path behind every public entry point:
+// it wires a fresh clock and report (with the optional progressive OnEmit
+// hook and the engine's tracer), runs the pipeline and finalizes the
+// report. Entry points differing only in report wiring — Run,
+// RunWithTotals, RunProgressive — all route here, so counter, emission and
+// tracing semantics cannot drift between them.
+func (e *Engine) ExecuteRun(estTotals []int, onEmit func(run.Emission)) (*run.Report, error) {
 	clock := metrics.NewClock()
 	rep := run.NewReport("CAQE", e.w, estTotals)
+	rep.OnEmit = onEmit
+	rep.StartTrace(e.opt.Tracer)
 	if err := e.ExecuteInto(clock, rep, nil); err != nil {
 		return nil, err
 	}

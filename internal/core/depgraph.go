@@ -126,13 +126,15 @@ func (h *csmHeap) push(region int, score float64) {
 	heap.Push(h, csmItem{region: region, score: score, bucket: scoreBucket(score)})
 }
 
-// popBest removes and returns the top region; ok is false when empty.
-func (h *csmHeap) popBest() (region int, ok bool) {
+// popBest removes and returns the top entry; ok is false when empty. The
+// returned item carries the score the scheduler is acting on — possibly
+// stale, which is exactly what a decision trace must report (recomputing
+// would advance the clock).
+func (h *csmHeap) popBest() (it csmItem, ok bool) {
 	if h.Len() == 0 {
-		return 0, false
+		return csmItem{}, false
 	}
-	it := heap.Pop(h).(csmItem)
-	return it.region, true
+	return heap.Pop(h).(csmItem), true
 }
 
 // peekBucket returns the current top score bucket without removing it.

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"caqe/internal/run"
+	"caqe/internal/trace"
+)
+
+// RunConfig is the resolved configuration of one execution entry-point
+// call: the engine options plus the report-level wiring (result totals,
+// the progressive consumption hook, and the trace sink). It is assembled
+// by applying RunOptions in order.
+type RunConfig struct {
+	// Opt tunes the engine itself.
+	Opt Options
+	// Totals optionally supplies the exact final result cardinality per
+	// query for cardinality-based contracts.
+	Totals []int
+	// OnEmit is called synchronously for every result the moment it is
+	// proven final.
+	OnEmit func(run.Emission)
+	// Tracer receives the structured execution trace. It takes precedence
+	// over Opt.Tracer when both are set.
+	Tracer trace.Tracer
+}
+
+// RunOption configures one aspect of an execution. Options apply in the
+// order given; the Options struct itself is a RunOption (it replaces the
+// whole engine-options block), so legacy call sites that passed a bare
+// Options value keep compiling against the variadic entry points.
+type RunOption interface {
+	ApplyRun(*RunConfig)
+}
+
+// ApplyRun makes Options usable directly as a RunOption: it installs the
+// value as the engine options, preserving a tracer installed by an earlier
+// option unless this value carries its own.
+func (o Options) ApplyRun(c *RunConfig) {
+	if o.Tracer == nil {
+		o.Tracer = c.Opt.Tracer
+	}
+	if o.Trace == nil {
+		o.Trace = c.Opt.Trace
+	}
+	c.Opt = o
+}
+
+// RunOptionFunc adapts a function to the RunOption interface.
+type RunOptionFunc func(*RunConfig)
+
+// ApplyRun implements RunOption.
+func (f RunOptionFunc) ApplyRun(c *RunConfig) { f(c) }
+
+// NewRunConfig applies the options in order and resolves the effective
+// tracer into Opt.Tracer.
+func NewRunConfig(opts ...RunOption) RunConfig {
+	var cfg RunConfig
+	for _, o := range opts {
+		o.ApplyRun(&cfg)
+	}
+	if cfg.Tracer != nil {
+		cfg.Opt.Tracer = cfg.Tracer
+	}
+	return cfg
+}

@@ -10,6 +10,7 @@ import (
 	"caqe/internal/region"
 	"caqe/internal/run"
 	"caqe/internal/skycube"
+	"caqe/internal/trace"
 	"caqe/internal/workload"
 )
 
@@ -32,6 +33,7 @@ type state struct {
 	space  *region.Space
 	shared *skycube.SharedSkyline
 	rep    *run.Report
+	tracer trace.Tracer
 
 	regions   []*region.Region
 	processed []bool // tuple-level done OR discarded
@@ -85,6 +87,7 @@ func newState(e *Engine, clock *metrics.Clock, space *region.Space, shared *skyc
 		e:             e,
 		w:             e.w,
 		clock:         clock,
+		tracer:        e.opt.Tracer,
 		pool:          parallel.New(e.opt.Workers),
 		space:         space,
 		shared:        shared,
@@ -133,10 +136,11 @@ func (st *state) run() {
 	st.initQueue()
 	deferrals := 0
 	for st.pq.Len() > 0 {
-		ri, popped := st.pq.popBest()
+		it, popped := st.pq.popBest()
 		if !popped {
 			break
 		}
+		ri := it.region
 		if st.processed[ri] {
 			continue
 		}
@@ -146,18 +150,19 @@ func (st *state) run() {
 		// the next entry instead. Recomputing advances the clock (it is
 		// counted coarse work), so deferrals are bounded to guarantee
 		// progress.
+		score := it.score
 		if deferrals < 3 && st.pq.Len() > 0 {
-			score := st.csm(st.regions[ri])
+			score = st.csm(st.regions[ri])
 			if next, ok := st.pq.peekBucket(); ok && scoreBucket(score) < next {
 				st.pq.push(ri, score)
 				st.inQueue[ri] = true
 				deferrals++
-				st.trace(TraceEvent{Kind: "defer", Region: ri, Score: score, Query: -1})
+				st.traceDefer(ri, score)
 				continue
 			}
 		}
 		deferrals = 0
-		st.trace(TraceEvent{Kind: "schedule", Region: ri, Query: -1})
+		st.traceDecision(ri, score)
 
 		rc := st.regions[ri]
 		newPayloads := st.processRegion(rc)
@@ -186,7 +191,7 @@ func (st *state) runDataOrder() {
 		if st.processed[ri] {
 			continue
 		}
-		st.trace(TraceEvent{Kind: "schedule", Region: ri, Query: -1})
+		st.traceDataOrderDecision(ri)
 		newPayloads := st.processRegion(rc)
 		st.processed[ri] = true
 		st.clock.CountRegionDone()
@@ -283,7 +288,7 @@ func (st *state) discardDominated(rc *region.Region, newPayloads []int) skycube.
 				if kern.Dominates(x, rf.Lo) {
 					rf.Alive &^= 1 << uint(qi)
 					killedQueries = killedQueries.Add(qi)
-					st.trace(TraceEvent{Kind: "discard", Region: fi, Query: st.qremap[qi]})
+					st.traceDiscard(fi, qi)
 					if rf.Alive == 0 {
 						st.processed[fi] = true
 						st.clock.CountRegionPruned()
@@ -460,6 +465,7 @@ func (st *state) updateWeights() {
 	for i := range st.weights {
 		st.weights[i] += (vmax - vs[i]) / den
 	}
+	st.traceFeedback(vs, vmax, den)
 }
 
 // flushRemaining emits every still-parked candidate at the end of
@@ -501,4 +507,121 @@ func (st *state) trace(ev TraceEvent) {
 	}
 	ev.Time = st.clock.Now() / metrics.VirtualSecond
 	st.e.opt.Trace(ev)
+}
+
+// The structured trace helpers below fire both the legacy Options.Trace
+// hook and the Options.Tracer sink. They perform no counted work: scores
+// are the ones the scheduler acted on (never recomputed), the runner-up
+// and frontier come from a plain scan of the queue's backing slice, and
+// everything beyond the nil check is skipped when tracing is off — so a
+// traced run's schedule, timestamps and counters are byte-identical to an
+// untraced one.
+
+// newEvent starts a structured event stamped with the report's strategy
+// label and the current virtual time, flushing any pending emission batch
+// first so the stream stays causally ordered.
+func (st *state) newEvent(kind trace.Kind) trace.Event {
+	st.rep.FlushTrace()
+	ev := trace.New(kind)
+	ev.Strategy = st.rep.Strategy
+	ev.T = st.clock.Now() / metrics.VirtualSecond
+	return ev
+}
+
+// traceDecision records one Algorithm 1 pick: the chosen root region, the
+// (possibly stale) CSM the scheduler compared, the best remaining
+// candidate and the scheduling frontier size.
+func (st *state) traceDecision(ri int, score float64) {
+	st.trace(TraceEvent{Kind: "schedule", Region: ri, Score: score, Query: -1})
+	if st.tracer == nil {
+		return
+	}
+	ev := st.newEvent(trace.KindDecision)
+	ev.Region = ri
+	ev.CSM = score
+	ruBucket := 0
+	for _, it := range st.pq.items {
+		if st.processed[it.region] || !st.inQueue[it.region] {
+			continue
+		}
+		ev.Frontier++
+		if ev.RunnerUp < 0 || it.bucket > ruBucket ||
+			(it.bucket == ruBucket && it.region < ev.RunnerUp) {
+			ev.RunnerUp, ev.RunnerUpCSM, ruBucket = it.region, it.score, it.bucket
+		}
+	}
+	ev.Queries = st.reportQueries(st.regions[ri].Alive)
+	st.tracer.Trace(ev)
+}
+
+// traceDataOrderDecision records one blind pipeline-order pick (the
+// DataOrderScheduling / S-JFSL mode): no CSM, no runner-up; the frontier
+// is the count of still-unprocessed regions.
+func (st *state) traceDataOrderDecision(ri int) {
+	st.trace(TraceEvent{Kind: "schedule", Region: ri, Query: -1})
+	if st.tracer == nil {
+		return
+	}
+	ev := st.newEvent(trace.KindDecision)
+	ev.Region = ri
+	for fi := range st.regions {
+		if !st.processed[fi] {
+			ev.Frontier++
+		}
+	}
+	ev.Queries = st.reportQueries(st.regions[ri].Alive)
+	st.tracer.Trace(ev)
+}
+
+// traceDefer records a region re-queued after its lazy score refresh fell
+// below the next-best bucket.
+func (st *state) traceDefer(ri int, score float64) {
+	st.trace(TraceEvent{Kind: "defer", Region: ri, Score: score, Query: -1})
+	if st.tracer == nil {
+		return
+	}
+	ev := st.newEvent(trace.KindDefer)
+	ev.Region = ri
+	ev.CSM = score
+	st.tracer.Trace(ev)
+}
+
+// traceDiscard records a region killed for one query by a generated result.
+func (st *state) traceDiscard(fi, qi int) {
+	st.trace(TraceEvent{Kind: "discard", Region: fi, Query: st.qremap[qi]})
+	if st.tracer == nil {
+		return
+	}
+	ev := st.newEvent(trace.KindDiscard)
+	ev.Region = fi
+	ev.Query = st.qremap[qi]
+	st.tracer.Trace(ev)
+}
+
+// traceFeedback records one Eq. 11 weight update: the affected queries
+// (in report indices), the weights after the update, and the per-query
+// increments (vmax - v_i) / Σ(vmax - v_j).
+func (st *state) traceFeedback(vs []float64, vmax, den float64) {
+	if st.tracer == nil {
+		return
+	}
+	ev := st.newEvent(trace.KindFeedback)
+	ev.Queries = make([]int, len(st.weights))
+	ev.Weights = make([]float64, len(st.weights))
+	ev.Deltas = make([]float64, len(st.weights))
+	for i, w := range st.weights {
+		ev.Queries[i] = st.qremap[i]
+		ev.Weights[i] = w
+		ev.Deltas[i] = (vmax - vs[i]) / den
+	}
+	st.tracer.Trace(ev)
+}
+
+// reportQueries expands an alive-set into report query indices.
+func (st *state) reportQueries(qs skycube.QSet) []int {
+	var out []int
+	for qi := qs.Next(0); qi >= 0; qi = qs.Next(qi + 1) {
+		out = append(out, st.qremap[qi])
+	}
+	return out
 }

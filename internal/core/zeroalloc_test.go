@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"caqe/internal/metrics"
+	"caqe/internal/run"
+)
+
+// TestDisabledTracerZeroAlloc pins the fast path of the instrumentation:
+// with no tracer and no legacy hook attached, every trace helper on the
+// optimizer's hot loop must cost a nil check and nothing else — zero
+// allocations per decision, defer, discard and feedback update.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	st := &state{
+		e:       &Engine{opt: Options{}},
+		clock:   metrics.NewClock(),
+		qremap:  []int{0, 1},
+		weights: []float64{1, 1},
+	}
+	vs := []float64{0.25, 0.75}
+	if allocs := testing.AllocsPerRun(200, func() {
+		st.traceDecision(3, 1.5)
+		st.traceDataOrderDecision(3)
+		st.traceDefer(2, 0.5)
+		st.traceDiscard(4, 1)
+		st.traceFeedback(vs, 0.75, 0.5)
+	}); allocs != 0 {
+		t.Fatalf("disabled-tracer trace helpers allocate %.1f per run", allocs)
+	}
+}
+
+// TestDisabledTracerZeroAllocReport covers the report side: with no
+// tracer attached, StartTrace must not install one and FlushTrace must be
+// free.
+func TestDisabledTracerZeroAllocReport(t *testing.T) {
+	rep := &run.Report{Strategy: "test"}
+	rep.StartTrace(nil)
+	if rep.Tracer() != nil {
+		t.Fatal("nil tracer should not attach")
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		rep.StartTrace(nil)
+		rep.FlushTrace()
+	}); allocs != 0 {
+		t.Fatalf("disabled-tracer report hooks allocate %.1f per run", allocs)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"caqe/internal/contract"
 	"caqe/internal/metrics"
+	"caqe/internal/trace"
 	"caqe/internal/workload"
 )
 
@@ -34,6 +35,15 @@ type Report struct {
 	// delivered result — the progressive consumption hook for applications
 	// that act on results as they become final.
 	OnEmit func(Emission)
+
+	// tracer, when attached via StartTrace, receives the run's start/end
+	// events and one emit event per batch of consecutive deliveries to the
+	// same query. Emission tracing lives here, in the report shared by
+	// every strategy, so each technique's delivery schedule is traced
+	// through the exact same code path.
+	tracer    trace.Tracer
+	batch     trace.Event
+	batchOpen bool
 }
 
 // NewReport allocates a report for the given workload, creating one
@@ -56,6 +66,22 @@ func NewReport(strategy string, w *workload.Workload, estTotals []int) *Report {
 	return r
 }
 
+// StartTrace attaches a trace sink and emits the run-start event. Call it
+// after NewReport and before the first Emit; a nil tracer is a no-op, so
+// callers can pass their options field through unconditionally.
+func (r *Report) StartTrace(tr trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	r.tracer = tr
+	ev := trace.New(trace.KindStart)
+	ev.Strategy = r.Strategy
+	tr.Trace(ev)
+}
+
+// Tracer returns the attached trace sink (nil when tracing is disabled).
+func (r *Report) Tracer() trace.Tracer { return r.tracer }
+
 // Emit records a delivery and feeds the query's contract tracker.
 func (r *Report) Emit(e Emission) {
 	r.PerQuery[e.Query] = append(r.PerQuery[e.Query], e)
@@ -63,15 +89,60 @@ func (r *Report) Emit(e Emission) {
 	if r.OnEmit != nil {
 		r.OnEmit(e)
 	}
+	if r.tracer != nil {
+		r.traceEmit(e)
+	}
+}
+
+// traceEmit coalesces consecutive deliveries to the same query into one
+// emit event spanning [T, TEnd]. The open batch is flushed when delivery
+// switches to another query, when a producer interposes a non-emission
+// event (via FlushTrace), or at Finish.
+func (r *Report) traceEmit(e Emission) {
+	if r.batchOpen && r.batch.Query == e.Query {
+		r.batch.Count++
+		r.batch.TEnd = e.Time
+		return
+	}
+	r.FlushTrace()
+	r.batch = trace.New(trace.KindEmit)
+	r.batch.Strategy = r.Strategy
+	r.batch.Query = e.Query
+	r.batch.T = e.Time
+	r.batch.TEnd = e.Time
+	r.batch.Count = 1
+	r.batchOpen = true
+}
+
+// FlushTrace closes the pending emission batch, if any. Producers call it
+// before tracing a non-emission event so the stream stays causally ordered.
+func (r *Report) FlushTrace() {
+	if !r.batchOpen {
+		return
+	}
+	r.batchOpen = false
+	r.tracer.Trace(r.batch)
 }
 
 // Finish finalizes every tracker at the given end time (virtual seconds)
-// and records the counters.
+// and records the counters. With a tracer attached it also closes the
+// event stream: the pending emission batch and the run-end event carrying
+// the final counters.
 func (r *Report) Finish(end float64, c metrics.Counters) {
 	r.EndTime = end
 	r.Counters = c
 	for _, t := range r.Trackers {
 		t.Finalize(end)
+	}
+	if r.tracer != nil {
+		r.FlushTrace()
+		ev := trace.New(trace.KindEnd)
+		ev.Strategy = r.Strategy
+		ev.T = end
+		ev.EndTime = end
+		cc := c
+		ev.Counters = &cc
+		r.tracer.Trace(ev)
 	}
 }
 

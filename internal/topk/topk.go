@@ -26,6 +26,7 @@ import (
 	"caqe/internal/parallel"
 	"caqe/internal/partition"
 	"caqe/internal/run"
+	"caqe/internal/trace"
 	"caqe/internal/tuple"
 )
 
@@ -109,6 +110,10 @@ type Options struct {
 	// DataOrder disables benefit-driven scheduling (ablation / shared
 	// blind pipeline).
 	DataOrder bool
+	// Tracer receives the structured execution trace (decisions, emission
+	// batches, start/end). As in the skyline engine, tracing performs no
+	// counted work: traced reports are byte-identical to untraced ones.
+	Tracer trace.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -147,6 +152,7 @@ func Run(w *Workload, r, t *tuple.Relation, opt Options, estTotals []int) (*run.
 	opt = opt.withDefaults()
 	clock := metrics.NewClock()
 	rep := newReport("CAQE-TopK", w, estTotals)
+	rep.StartTrace(opt.Tracer)
 
 	rcells, err := partition.Partition(r, partition.DefaultOptions(r.Len(), opt.TargetCells))
 	if err != nil {
@@ -243,10 +249,11 @@ func (e *engine) buildRegions(rcells, tcells []*partition.Cell) {
 // any query's k-th score, and emit every result that is provably final.
 func (e *engine) run() {
 	for {
-		ri := e.pickNext()
+		ri, score, ru, ruScore := e.pickNext()
 		if ri < 0 {
 			break
 		}
+		e.traceDecision(ri, score, ru, ruScore)
 		reg := e.regions[ri]
 		reg.done = true
 		e.processRegion(reg)
@@ -258,22 +265,58 @@ func (e *engine) run() {
 }
 
 // pickNext returns the live region with the highest benefit (or the first
-// live region in pipeline order under DataOrder), -1 when none remain.
-func (e *engine) pickNext() int {
-	best, bestScore := -1, -1.0
+// live region in pipeline order under DataOrder) together with that
+// benefit and the runner-up; best is -1 when none remain.
+func (e *engine) pickNext() (best int, bestScore float64, runnerUp int, ruScore float64) {
+	best, bestScore, runnerUp, ruScore = -1, -1.0, -1, -1.0
 	for ri, reg := range e.regions {
 		if reg.done || reg.queries == 0 {
 			continue
 		}
 		if e.opt.DataOrder {
-			return ri
+			return ri, 0, -1, 0
 		}
 		s := e.benefit(reg)
-		if s > bestScore {
+		switch {
+		case s > bestScore:
+			runnerUp, ruScore = best, bestScore
 			best, bestScore = ri, s
+		case s > ruScore:
+			runnerUp, ruScore = ri, s
 		}
 	}
-	return best
+	return best, bestScore, runnerUp, ruScore
+}
+
+// traceDecision records one scheduling pick with the benefit scores the
+// scheduler acted on. It performs no counted work: the frontier and the
+// served queries come from plain scans, and everything is skipped when
+// tracing is off.
+func (e *engine) traceDecision(ri int, score float64, ru int, ruScore float64) {
+	tr := e.rep.Tracer()
+	if tr == nil {
+		return
+	}
+	e.rep.FlushTrace()
+	ev := trace.New(trace.KindDecision)
+	ev.Strategy = e.rep.Strategy
+	ev.T = e.clock.Now() / metrics.VirtualSecond
+	ev.Region = ri
+	ev.CSM = score
+	if ru >= 0 {
+		ev.RunnerUp, ev.RunnerUpCSM = ru, ruScore
+	}
+	for _, reg := range e.regions {
+		if !reg.done && reg.queries > 0 {
+			ev.Frontier++
+		}
+	}
+	for qi, alive := range e.regions[ri].alive {
+		if alive {
+			ev.Queries = append(ev.Queries, qi)
+		}
+	}
+	tr.Trace(ev)
 }
 
 // benefit estimates the contract-weighted improvement potential of a
@@ -464,11 +507,19 @@ func newReport(strategy string, w *Workload, estTotals []int) *run.Report {
 // order with a full join and a sort — the unshared, blocking baseline for
 // the top-k extension.
 func Sequential(w *Workload, r, t *tuple.Relation, estTotals []int) (*run.Report, error) {
+	return SequentialTraced(w, r, t, estTotals, nil)
+}
+
+// SequentialTraced is Sequential with a trace sink attached: one decision
+// event per query granted processing time, plus the shared emission
+// batches and start/end brackets.
+func SequentialTraced(w *Workload, r, t *tuple.Relation, estTotals []int, tracer trace.Tracer) (*run.Report, error) {
 	if err := w.Validate(); err != nil {
 		return nil, err
 	}
 	clock := metrics.NewClock()
 	rep := newReport("Sequential-TopK", w, estTotals)
+	rep.StartTrace(tracer)
 
 	order := make([]int, len(w.Queries))
 	for i := range order {
@@ -490,6 +541,15 @@ func Sequential(w *Workload, r, t *tuple.Relation, estTotals []int) (*run.Report
 	var cands []result
 	for _, qi := range order {
 		q := &w.Queries[qi]
+		if tracer != nil {
+			rep.FlushTrace()
+			ev := trace.New(trace.KindDecision)
+			ev.Strategy = rep.Strategy
+			ev.T = clock.Now() / metrics.VirtualSecond
+			ev.Query = qi
+			ev.Queries = []int{qi}
+			tracer.Trace(ev)
+		}
 		results := js.NestedLoopPool(w.JoinConds[q.JC], w.OutDims, rs, ts, clock, parallel.Default())
 		cands = cands[:0]
 		for _, res := range results {

@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"sync"
+
+	"caqe/internal/contract"
+	"caqe/internal/metrics"
+)
+
+// SatPoint is one sample of a live per-query satisfaction timeline: after
+// Delivered results, at virtual time T, the query's (provisional) contract
+// satisfaction was Satisfaction.
+type SatPoint struct {
+	T            float64
+	Delivered    int64
+	Satisfaction float64
+}
+
+// Snapshot is a consistent view of one strategy run as seen by an
+// Aggregator — live mid-execution (EndTime zero, Counters nil) or final.
+type Snapshot struct {
+	Strategy     string
+	Events       map[Kind]int64 // event counts by kind
+	Delivered    []int64        // per-query results delivered so far
+	Satisfaction []float64      // per-query run-time satisfaction (nil without contracts)
+	Weights      []float64      // latest Eq. 11 scheduler weights (nil before any feedback)
+	EndTime      float64        // virtual seconds; 0 until the end event
+	Counters     *metrics.Counters
+}
+
+// Aggregator is the in-memory trace sink: it maintains live event counters,
+// per-query delivery totals and — when constructed with the workload's
+// contracts — per-query satisfaction timelines, all readable mid-execution
+// from any goroutine. One Aggregator can absorb several consecutive runs
+// (each bracketed by start/end events); completed runs are archived and the
+// current one is always available via Snapshot.
+type Aggregator struct {
+	mu        sync.Mutex
+	contracts []contract.Contract
+	totals    []int
+
+	cur       Snapshot
+	trackers  []contract.Tracker
+	timelines [][]SatPoint
+	runs      []Snapshot
+}
+
+// NewAggregator returns an aggregator. contracts (with optional estTotals,
+// the per-query final cardinalities) enable live satisfaction timelines by
+// replaying emissions through fresh trackers; pass nil to aggregate
+// deliveries and decisions only.
+func NewAggregator(contracts []contract.Contract, estTotals []int) *Aggregator {
+	return &Aggregator{contracts: contracts, totals: estTotals}
+}
+
+// Trace implements Tracer.
+func (a *Aggregator) Trace(ev Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ev.Kind == KindStart {
+		a.beginRun(ev.Strategy)
+	}
+	if a.cur.Events == nil {
+		// Tolerate streams without a start bracket (partial traces).
+		a.beginRun(ev.Strategy)
+	}
+	a.cur.Events[ev.Kind]++
+	switch ev.Kind {
+	case KindEmit:
+		a.observeEmit(ev)
+	case KindFeedback:
+		a.cur.Weights = append(a.cur.Weights[:0], ev.Weights...)
+	case KindEnd:
+		a.cur.EndTime = ev.EndTime
+		if ev.Counters != nil {
+			c := *ev.Counters
+			a.cur.Counters = &c
+		}
+		a.runs = append(a.runs, a.snapshotLocked())
+		a.cur = Snapshot{}
+		a.trackers = nil
+		a.timelines = nil
+	}
+}
+
+func (a *Aggregator) beginRun(strategy string) {
+	a.cur = Snapshot{Strategy: strategy, Events: make(map[Kind]int64)}
+	a.trackers = nil
+	a.timelines = nil
+	if len(a.contracts) > 0 {
+		a.trackers = make([]contract.Tracker, len(a.contracts))
+		a.timelines = make([][]SatPoint, len(a.contracts))
+		for qi, c := range a.contracts {
+			est := 0
+			if a.totals != nil {
+				est = a.totals[qi]
+			}
+			a.trackers[qi] = c.NewTracker(est)
+		}
+	}
+}
+
+func (a *Aggregator) observeEmit(ev Event) {
+	qi := ev.Query
+	for qi >= len(a.cur.Delivered) {
+		a.cur.Delivered = append(a.cur.Delivered, 0)
+	}
+	a.cur.Delivered[qi] += int64(ev.Count)
+	if qi >= len(a.trackers) {
+		return
+	}
+	// Replay the batch through the query's tracker. Individual delivery
+	// times inside a batch are not recorded; interpolating between the
+	// batch's first and last timestamp keeps the provisional satisfaction
+	// faithful for every built-in contract.
+	tr := a.trackers[qi]
+	for i := 0; i < ev.Count; i++ {
+		ts := ev.T
+		if ev.Count > 1 {
+			ts += (ev.TEnd - ev.T) * float64(i) / float64(ev.Count-1)
+		}
+		tr.Observe(ts)
+	}
+	a.timelines[qi] = append(a.timelines[qi], SatPoint{
+		T:            ev.TEnd,
+		Delivered:    a.cur.Delivered[qi],
+		Satisfaction: tr.Runtime(),
+	})
+}
+
+// snapshotLocked deep-copies the current run view; a.mu must be held.
+func (a *Aggregator) snapshotLocked() Snapshot {
+	s := a.cur
+	s.Events = make(map[Kind]int64, len(a.cur.Events))
+	for k, v := range a.cur.Events {
+		s.Events[k] = v
+	}
+	s.Delivered = append([]int64(nil), a.cur.Delivered...)
+	s.Weights = append([]float64(nil), a.cur.Weights...)
+	if a.cur.Counters != nil {
+		c := *a.cur.Counters
+		s.Counters = &c
+	}
+	if a.trackers != nil {
+		s.Satisfaction = make([]float64, len(a.trackers))
+		for qi, tr := range a.trackers {
+			s.Satisfaction[qi] = tr.Runtime()
+		}
+	}
+	return s
+}
+
+// Snapshot returns a consistent copy of the current (possibly still
+// running) run's aggregate state.
+func (a *Aggregator) Snapshot() Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cur.Events == nil {
+		return Snapshot{}
+	}
+	return a.snapshotLocked()
+}
+
+// Runs returns the snapshots of all completed runs in completion order.
+func (a *Aggregator) Runs() []Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Snapshot(nil), a.runs...)
+}
+
+// Timeline returns a copy of the live satisfaction timeline of one query
+// of the current run (nil when the aggregator has no contracts or the
+// query has no deliveries yet).
+func (a *Aggregator) Timeline(qi int) []SatPoint {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if qi < 0 || qi >= len(a.timelines) {
+		return nil
+	}
+	return append([]SatPoint(nil), a.timelines[qi]...)
+}
