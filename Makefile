@@ -17,6 +17,13 @@ test:
 # benches. The raw `go test` output is preserved on stdout/BENCH_results.txt
 # and also distilled into machine-readable BENCH_results.json
 # (name, iterations, ns/op, B/op, allocs/op) for trend tracking.
+#
+# BENCH_results.json is committed as the repository's performance baseline:
+# CI's bench job compares fresh numbers against it (and against the base
+# branch via benchstat). After a deliberate performance change, refresh the
+# baseline by re-running `make bench` on a quiet machine and committing the
+# regenerated BENCH_results.json alongside the change; BENCH_results.txt
+# stays untracked scratch output.
 bench:
 	go test -bench=. -benchmem ./... | tee BENCH_results.txt
 	go run ./cmd/benchjson < BENCH_results.txt > BENCH_results.json

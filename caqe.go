@@ -63,6 +63,7 @@ import (
 	"caqe/internal/join"
 	"caqe/internal/preference"
 	"caqe/internal/run"
+	"caqe/internal/session"
 	"caqe/internal/topk"
 	"caqe/internal/trace"
 	"caqe/internal/tuple"
@@ -396,4 +397,46 @@ func ProductContract(components ...Contract) Contract {
 // compound (the richer models of §3.3's footnote).
 func BlendedContract(weights []float64, components ...Contract) Contract {
 	return contract.WeightedSum(weights, components...)
+}
+
+// ---------------------------------------------------------------------------
+// Online sessions
+
+// Session is a long-lived online CAQE execution: queries are submitted and
+// cancelled while the shared plan is running, and each query streams its
+// guaranteed-final results through its SessionHandle. See OpenSession.
+type (
+	Session       = session.Session
+	SessionConfig = session.Config
+	SessionHandle = session.Handle
+	SessionStats  = session.Stats
+	SessionQuery  = session.QueryStats
+)
+
+// Typed session errors, for mapping to transport-level responses (an HTTP
+// server returns 429 for ErrAdmissionFull, 409 for ErrSessionFull, 503 for
+// ErrDraining).
+var (
+	ErrSessionClosed   = session.ErrClosed
+	ErrSessionDraining = session.ErrDraining
+	ErrAdmissionFull   = session.ErrAdmissionFull
+	ErrSessionFull     = session.ErrSessionFull
+	ErrUnknownQuery    = session.ErrUnknownQuery
+)
+
+// OpenSession starts an online session over loaded relations. Queries
+// submitted before the session starts executing form the initial workload
+// and run exactly as a batch Run would — byte-identical report included;
+// queries submitted afterwards are admitted into the running execution
+// with their contract anchored at the arrival virtual time. Close drains
+// every admitted query and finalizes the report.
+func OpenSession(cfg SessionConfig) (*Session, error) { return session.Open(cfg) }
+
+// AnchoredContract shifts a contract's clock so its utilities are measured
+// from the given arrival virtual time instead of from execution start.
+// Sessions apply it automatically to mid-run submissions; it is exported
+// for consumers composing contracts for replay or analysis. A non-positive
+// arrival returns the contract unchanged.
+func AnchoredContract(c Contract, arrival float64) Contract {
+	return contract.Anchored(c, arrival)
 }

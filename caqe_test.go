@@ -53,9 +53,9 @@ func TestRunProgressiveHook(t *testing.T) {
 	w := exampleWorkload()
 	r, tt := exampleData(t)
 	var hooked int
-	rep, err := caqe.RunProgressive(w, r, tt, caqe.Options{}, nil, func(e caqe.Emission) {
+	rep, err := caqe.Run(w, r, tt, caqe.WithOnEmit(func(e caqe.Emission) {
 		hooked++
-	})
+	}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,9 +69,9 @@ func TestRunProgressiveHook(t *testing.T) {
 }
 
 func TestStrategiesAndRunStrategy(t *testing.T) {
-	names := caqe.Strategies()
-	if len(names) != 6 || names[0] != "CAQE" || names[5] != "TimeShared" {
-		t.Fatalf("Strategies() = %v", names)
+	names := caqe.StrategyNames()
+	if len(names) != 6 || names[0] != caqe.StrategyCAQE || names[5] != caqe.StrategyTimeShared {
+		t.Fatalf("StrategyNames() = %v", names)
 	}
 	w := exampleWorkload()
 	r, tt := exampleData(t)
@@ -79,12 +79,12 @@ func TestStrategiesAndRunStrategy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := caqe.RunWithTotals(w, r, tt, caqe.Options{}, totals)
+	want, err := caqe.Run(w, r, tt, caqe.WithTotals(totals))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range names {
-		rep, err := caqe.RunStrategy(caqe.StrategyName(name), w, r, tt, caqe.WithTotals(totals))
+		rep, err := caqe.RunStrategy(name, w, r, tt, caqe.WithTotals(totals))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

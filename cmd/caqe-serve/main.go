@@ -1,0 +1,90 @@
+// Command caqe-serve exposes an online CAQE session over HTTP: clients
+// submit decision-support queries with contracts against a loaded dataset,
+// stream each query's guaranteed-final results as they become available,
+// cancel queries, and inspect live session statistics. It is the serving
+// counterpart of the batch caqe command.
+//
+// Usage:
+//
+//	caqe-serve [-addr :8734] [-n rows] [-dims d] [-dist independent|correlated|anticorrelated]
+//	           [-sel σ] [-keys k] [-seed s] [-max-concurrent m] [-workers w] [-cells c]
+//
+// Endpoints:
+//
+//	POST   /queries              submit a query (JSON body; see queryRequest)
+//	GET    /queries/{id}         one query's status
+//	DELETE /queries/{id}         cancel a query
+//	GET    /queries/{id}/results stream guaranteed-final results (NDJSON, or
+//	                             SSE with Accept: text/event-stream)
+//	GET    /stats                live session statistics
+//	GET    /healthz              liveness (503 while draining)
+//
+// Admission is bounded: beyond -max-concurrent open queries a submission
+// is rejected with 429, and past the engine's lifetime limit of 64 query
+// slots with 409. On SIGTERM/SIGINT the server stops admitting, drains
+// every running query to its full result set (streams receive their tails
+// and close), then shuts down.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8734", "listen address")
+		n       = flag.Int("n", 2000, "rows per generated relation")
+		dims    = flag.Int("dims", 4, "output dimensionality d")
+		dist    = flag.String("dist", "independent", "data distribution: independent, correlated, anticorrelated")
+		sel     = flag.Float64("sel", 0.01, "join selectivity per key column")
+		keys    = flag.Int("keys", 2, "key columns per relation (one join condition each)")
+		seed    = flag.Int64("seed", 2014, "dataset seed")
+		maxConc = flag.Int("max-concurrent", 16, "maximum simultaneously open queries (0 = engine limit)")
+		workers = flag.Int("workers", 0, "join worker pool size (default all cores)")
+		cells   = flag.Int("cells", 0, "quad-tree leaf cells per relation (default engine choice)")
+	)
+	flag.Parse()
+
+	srv, err := newServer(serverConfig{
+		N: *n, Dims: *dims, Dist: *dist, Sel: *sel, Keys: *keys, Seed: *seed,
+		MaxConcurrent: *maxConc, Workers: *workers, TargetCells: *cells,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caqe-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.routes()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("caqe-serve: listening on %s (%d rows, d=%d, %d join conditions)",
+		*addr, *n, *dims, *keys)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "caqe-serve: %v\n", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		log.Printf("caqe-serve: %v, draining", sig)
+	}
+
+	// Drain: stop admitting, run every open query to completion (streams
+	// get their tails), then close idle HTTP connections.
+	srv.drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("caqe-serve: shutdown: %v", err)
+	}
+	log.Printf("caqe-serve: drained, bye")
+}

@@ -1,0 +1,327 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"caqe"
+)
+
+// serverConfig describes the served dataset and admission limits.
+type serverConfig struct {
+	N, Dims, Keys        int
+	Dist                 string
+	Sel                  float64
+	Seed                 int64
+	MaxConcurrent        int
+	Workers, TargetCells int
+
+	// noAutoStart keeps submitted queries queued instead of starting
+	// execution on first admission; tests use it to pin down admission-cap
+	// behavior without racing the executor.
+	noAutoStart bool
+}
+
+// server wires one online CAQE session to HTTP handlers. All shared state
+// lives in the session, which is safe for concurrent use; the server keeps
+// only the immutable query vocabulary.
+type server struct {
+	sess      *caqe.Session
+	joinConds []caqe.EquiJoin
+	outDims   []caqe.MapFunc
+	autoStart bool
+}
+
+func newServer(cfg serverConfig) (*server, error) {
+	var dist caqe.Distribution
+	switch strings.ToLower(cfg.Dist) {
+	case "", "independent":
+		dist = caqe.Independent
+	case "correlated":
+		dist = caqe.Correlated
+	case "anticorrelated":
+		dist = caqe.AntiCorrelated
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", cfg.Dist)
+	}
+	if cfg.Keys < 1 {
+		return nil, fmt.Errorf("need at least one key column, got %d", cfg.Keys)
+	}
+	sels := make([]float64, cfg.Keys)
+	for i := range sels {
+		sels[i] = cfg.Sel
+	}
+	r, t, err := caqe.GeneratePair(cfg.N, cfg.Dims, dist, sels, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// One join condition per key column and one summed output dimension per
+	// attribute: the vocabulary every submitted query picks from.
+	joinConds := make([]caqe.EquiJoin, cfg.Keys)
+	for k := range joinConds {
+		joinConds[k] = caqe.EquiJoin{Name: fmt.Sprintf("JC%d", k), LeftKey: k, RightKey: k}
+	}
+	outDims := make([]caqe.MapFunc, cfg.Dims)
+	for d := range outDims {
+		outDims[d] = caqe.SumDim(fmt.Sprintf("d%d", d), d)
+	}
+
+	sess, err := caqe.OpenSession(caqe.SessionConfig{
+		R: r, T: t,
+		JoinConds:     joinConds,
+		OutDims:       outDims,
+		Engine:        caqe.Options{Workers: cfg.Workers, TargetCells: cfg.TargetCells},
+		MaxConcurrent: cfg.MaxConcurrent,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &server{sess: sess, joinConds: joinConds, outDims: outDims, autoStart: !cfg.noAutoStart}, nil
+}
+
+// drain closes the session, running every open query to completion; result
+// streams receive their tails and close.
+func (s *server) drain() { _ = s.sess.Close() }
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /queries", s.handleSubmit)
+	mux.HandleFunc("GET /queries/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /queries/{id}", s.handleCancel)
+	mux.HandleFunc("GET /queries/{id}/results", s.handleResults)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// contractRequest selects and parameterizes a contract class (Table 2).
+type contractRequest struct {
+	// Class: deadline (C1), logdecay (C2), softdeadline (C3, default with
+	// Deadline 30), ratequota (C4), hybrid (C5).
+	Class    string  `json:"class"`
+	Deadline float64 `json:"deadline,omitempty"` // virtual seconds, C1/C3
+	Frac     float64 `json:"frac,omitempty"`     // result fraction per interval, C4/C5
+	Interval float64 `json:"interval,omitempty"` // virtual seconds, C4/C5
+}
+
+func (cr contractRequest) build() (caqe.Contract, error) {
+	switch strings.ToLower(cr.Class) {
+	case "", "softdeadline":
+		d := cr.Deadline
+		if d <= 0 {
+			d = 30
+		}
+		return caqe.SoftDeadline(d), nil
+	case "deadline":
+		if cr.Deadline <= 0 {
+			return nil, fmt.Errorf("contract class deadline needs a positive deadline")
+		}
+		return caqe.Deadline(cr.Deadline), nil
+	case "logdecay":
+		return caqe.LogDecay(), nil
+	case "ratequota":
+		return caqe.RateQuota(cr.Frac, cr.Interval), nil
+	case "hybrid":
+		return caqe.Hybrid(cr.Frac, cr.Interval), nil
+	}
+	return nil, fmt.Errorf("unknown contract class %q", cr.Class)
+}
+
+// queryRequest is the POST /queries body.
+type queryRequest struct {
+	Name     string          `json:"name"`
+	JC       int             `json:"jc"`       // join condition index
+	Pref     []int           `json:"pref"`     // output dimensions of the skyline preference
+	Priority float64         `json:"priority"` // [0,1]
+	Contract contractRequest `json:"contract"`
+	EstTotal int             `json:"estTotal,omitempty"` // expected |results| for cardinality contracts
+}
+
+// queryResponse describes one submitted query.
+type queryResponse struct {
+	ID      int     `json:"id"`
+	Name    string  `json:"name"`
+	State   string  `json:"state"`
+	Arrival float64 `json:"arrival"` // virtual seconds at admission
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	c, err := req.Contract.build()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" {
+		req.Name = fmt.Sprintf("q-jc%d", req.JC)
+	}
+	q := caqe.Query{
+		Name:     req.Name,
+		JC:       req.JC,
+		Pref:     caqe.Dims(req.Pref...),
+		Priority: req.Priority,
+		Contract: c,
+	}
+	h, err := s.sess.Submit(q, req.EstTotal)
+	if err != nil {
+		httpError(w, submitStatus(err), err)
+		return
+	}
+	if s.autoStart {
+		// Begin executing as soon as the first query lands; later
+		// submissions are admitted into the already-running plan. Idempotent
+		// after the first call.
+		_ = s.sess.Start()
+	}
+	writeJSON(w, http.StatusCreated, queryResponse{
+		ID: h.ID(), Name: h.Name(), State: h.State(), Arrival: h.Arrival(),
+	})
+}
+
+// submitStatus maps typed session errors onto HTTP status codes.
+func submitStatus(err error) int {
+	switch {
+	case errors.Is(err, caqe.ErrAdmissionFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, caqe.ErrSessionFull):
+		return http.StatusConflict
+	case errors.Is(err, caqe.ErrSessionDraining), errors.Is(err, caqe.ErrSessionClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *server) handle(w http.ResponseWriter, r *http.Request) (*caqe.SessionHandle, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad query id %q", r.PathValue("id")))
+		return nil, false
+	}
+	h, err := s.sess.Query(id)
+	if err != nil {
+		status := http.StatusNotFound
+		if errors.Is(err, caqe.ErrSessionClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err)
+		return nil, false
+	}
+	return h, true
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.handle(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		ID: h.ID(), Name: h.Name(), State: h.State(), Arrival: h.Arrival(),
+	})
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.handle(w, r)
+	if !ok {
+		return
+	}
+	if err := s.sess.Cancel(h.ID()); err != nil && !errors.Is(err, caqe.ErrSessionClosed) {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleResults streams a query's guaranteed-final results until its
+// result set is complete (or it is cancelled). The default framing is
+// NDJSON — one Emission per line; clients sending Accept: text/event-stream
+// get SSE frames instead. Each result is flushed as it becomes final, so
+// the stream is as progressive as the engine's emission schedule.
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.handle(w, r)
+	if !ok {
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		select {
+		case e, open := <-h.Results():
+			if !open {
+				if sse {
+					fmt.Fprintf(w, "event: done\ndata: {\"state\":%q}\n\n", h.State())
+					if flusher != nil {
+						flusher.Flush()
+					}
+				}
+				return
+			}
+			if sse {
+				fmt.Fprint(w, "data: ")
+			}
+			if err := enc.Encode(e); err != nil {
+				h.Abandon()
+				return
+			}
+			if sse {
+				fmt.Fprint(w, "\n")
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-ctx.Done():
+			// Client went away; free the pump but keep the query running.
+			h.Abandon()
+			return
+		}
+	}
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sess.Stats()
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sess.Stats()
+	if err != nil || st.Draining {
+		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

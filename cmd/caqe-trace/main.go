@@ -10,10 +10,15 @@
 //
 // With no mode flags -summary is implied. -validate checks every line
 // against the event schema and exits non-zero on the first violation —
-// the CI smoke test runs it over a fresh caqe-bench trace.
+// the CI smoke test runs it over a fresh caqe-bench trace. -diff exits 0
+// when the two runs scheduled identically and 3 when they diverged
+// (different decision sequences, end times or counters), so determinism
+// checks can be scripted: caqe-trace -diff CAQE,CAQE must succeed, while
+// comparing different strategies must not.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +44,9 @@ func main() {
 	}
 	if err := runCLI(flag.Arg(0), *validate, *summary, *curves, *samples, *diff); err != nil {
 		fmt.Fprintf(os.Stderr, "caqe-trace: %v\n", err)
+		if errors.Is(err, errDiverged) {
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -93,10 +101,17 @@ func runCLI(path string, validate, summary, curves bool, samples int, diff strin
 			}
 			return fmt.Errorf("-diff %s: trace holds runs %v", diff, have)
 		}
-		printDiff(a, b)
+		if printDiff(a, b) {
+			return errDiverged
+		}
 	}
 	return nil
 }
+
+// errDiverged signals that -diff found the two schedules unequal; main
+// maps it to a dedicated exit code so scripts can separate "diverged"
+// from "broken input".
+var errDiverged = errors.New("schedules diverge")
 
 // runTrace is the event stream of one strategy execution, bracketed by
 // start/end events.
@@ -238,7 +253,9 @@ func printCurves(r *runTrace, samples int) {
 
 // printDiff compares two runs: when each query's results arrived (the
 // observable schedule difference) and how the decision streams diverge.
-func printDiff(a, b *runTrace) {
+// printDiff reports the schedule comparison and returns whether the two
+// runs diverged (different decision sequences, end times or counters).
+func printDiff(a, b *runTrace) (diverged bool) {
 	fmt.Printf("== %s vs %s ==\n", a.strategy, b.strategy)
 	fmt.Printf("  end time     %10.1f vs %10.1f virtual seconds\n", a.endTime, b.endTime)
 	fmt.Printf("  decisions    %10d vs %10d\n", a.kinds[trace.KindDecision], b.kinds[trace.KindDecision])
@@ -297,12 +314,18 @@ func printDiff(a, b *runTrace) {
 	case common == len(da) && common == len(db):
 		fmt.Printf("  identical decision sequences (%d decisions)\n", common)
 	case common < len(da) && common < len(db):
+		diverged = true
 		fmt.Printf("  schedules diverge at decision %d: %s picks %s, %s picks %s\n",
 			common+1, a.strategy, da[common], b.strategy, db[common])
 	default:
+		diverged = true
 		fmt.Printf("  %d common decisions, then lengths differ (%d vs %d)\n",
 			common, len(da), len(db))
 	}
+	if a.endTime != b.endTime || a.counters != b.counters {
+		diverged = true
+	}
+	return diverged
 }
 
 // decisions flattens a run's decision stream to comparable labels.

@@ -106,9 +106,10 @@ func TestParallelWorkersBitIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, name := range caqe.Strategies() {
-				t.Run(name, func(t *testing.T) {
-					serial, err := caqe.RunStrategyWithWorkers(name, w, r, tt, totals, 1)
+			for _, name := range caqe.StrategyNames() {
+				t.Run(string(name), func(t *testing.T) {
+					serial, err := caqe.RunStrategy(name, w, r, tt,
+						caqe.WithTotals(totals), caqe.WithWorkers(1))
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -120,7 +121,8 @@ func TestParallelWorkersBitIdentical(t *testing.T) {
 						t.Fatal("strategy emitted nothing; determinism check is vacuous")
 					}
 					for _, workers := range []int{2, 4} {
-						par, err := caqe.RunStrategyWithWorkers(name, w, r, tt, totals, workers)
+						par, err := caqe.RunStrategy(name, w, r, tt,
+							caqe.WithTotals(totals), caqe.WithWorkers(workers))
 						if err != nil {
 							t.Fatalf("workers=%d: %v", workers, err)
 						}

@@ -42,8 +42,8 @@ func ExampleRun() {
 	// thorough: 42 results, satisfaction 0.98
 }
 
-// ExampleRunProgressive streams results as they are proven final.
-func ExampleRunProgressive() {
+// ExampleRun_progressive streams results as they are proven final.
+func ExampleRun_progressive() {
 	r, t, err := caqe.GeneratePair(200, 2, caqe.Correlated, []float64{0.05}, 7)
 	if err != nil {
 		panic(err)
@@ -57,9 +57,9 @@ func ExampleRunProgressive() {
 		},
 	}
 	count := 0
-	_, err = caqe.RunProgressive(w, r, t, caqe.Options{}, nil, func(e caqe.Emission) {
+	_, err = caqe.Run(w, r, t, caqe.WithOnEmit(func(e caqe.Emission) {
 		count++
-	})
+	}))
 	if err != nil {
 		panic(err)
 	}

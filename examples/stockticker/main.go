@@ -108,6 +108,6 @@ func main() {
 // newEngineWithHook wires an emission callback through the public API.
 func newEngineWithHook(w *caqe.Workload, r, t *caqe.Relation, totals []int, hook func(caqe.Emission)) func() (*caqe.Report, error) {
 	return func() (*caqe.Report, error) {
-		return caqe.RunProgressive(w, r, t, caqe.Options{}, totals, hook)
+		return caqe.Run(w, r, t, caqe.WithTotals(totals), caqe.WithOnEmit(hook))
 	}
 }

@@ -125,7 +125,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	report, err := caqe.RunWithTotals(w, hotels, tours, caqe.Options{}, totals)
+	report, err := caqe.Run(w, hotels, tours, caqe.WithTotals(totals))
 	if err != nil {
 		log.Fatal(err)
 	}

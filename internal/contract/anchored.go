@@ -1,0 +1,61 @@
+package contract
+
+import (
+	"fmt"
+	"math"
+)
+
+// Anchored shifts a contract's clock so that it starts ticking at the given
+// arrival time (virtual seconds): a tuple emitted at absolute time ts is
+// scored as if it arrived ts − arrival seconds into the run. This is how an
+// online session admits a query mid-run without punishing it for work that
+// happened before it existed — its deadline, decay and quota intervals all
+// count from the moment of admission (Definitions 4–5 applied to the
+// query's own timeline).
+//
+// An arrival of zero (or less) returns the contract unchanged, so queries
+// admitted before execution starts score byte-identically to a batch run.
+func Anchored(c Contract, arrival float64) Contract {
+	if arrival <= 0 {
+		return c
+	}
+	if a, ok := c.(*anchored); ok {
+		// Re-anchoring composes additively on the original contract.
+		return &anchored{inner: a.inner, t0: a.t0 + arrival}
+	}
+	return &anchored{inner: c, t0: arrival}
+}
+
+type anchored struct {
+	inner Contract
+	t0    float64
+}
+
+func (a *anchored) Name() string {
+	return fmt.Sprintf("%s@%gs", a.inner.Name(), a.t0)
+}
+
+func (a *anchored) NewTracker(estTotal int) Tracker {
+	return &anchoredTracker{inner: a.inner.NewTracker(estTotal), t0: a.t0}
+}
+
+// utilityAt makes anchored contracts transparent to the optimizer's Eq. 8
+// benefit model: the prospective utility at absolute time ts is the inner
+// contract's utility on the query's own clock.
+func (a *anchored) utilityAt(ts float64) float64 {
+	return ExpectedUtilityAt(a.inner, math.Max(0, ts-a.t0))
+}
+
+// anchoredTracker rebases every observation onto the query's own clock.
+// Emissions before the anchor (possible only through misuse) clamp to 0.
+type anchoredTracker struct {
+	inner Tracker
+	t0    float64
+}
+
+func (t *anchoredTracker) Observe(ts float64)   { t.inner.Observe(math.Max(0, ts-t.t0)) }
+func (t *anchoredTracker) Finalize(end float64) { t.inner.Finalize(math.Max(0, end-t.t0)) }
+func (t *anchoredTracker) PScore() float64      { return t.inner.PScore() }
+func (t *anchoredTracker) Count() int           { return t.inner.Count() }
+func (t *anchoredTracker) Runtime() float64     { return t.inner.Runtime() }
+func (t *anchoredTracker) Utilities() []float64 { return t.inner.Utilities() }

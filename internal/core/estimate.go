@@ -99,7 +99,7 @@ func (st *state) cardinality(rc *region.Region, qi int) float64 {
 // pair, not per query. The returned slices are the state's reused
 // dominator scratch, valid until the next call.
 func (st *state) dominatorsByQuery(rc *region.Region) [][]*region.Region {
-	if st.domScratch == nil {
+	if len(st.domScratch) < len(st.w.Queries) {
 		st.domScratch = make([][]*region.Region, len(st.w.Queries))
 	}
 	doms := st.domScratch

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+
+	"caqe/internal/metrics"
+	"caqe/internal/partition"
+	"caqe/internal/preference"
+	"caqe/internal/region"
+	"caqe/internal/run"
+	"caqe/internal/skycube"
+	"caqe/internal/workload"
+)
+
+// Exec is a stepping handle over one CAQE execution: the same Algorithm 1
+// loop as a batch run, but advanced one scheduling decision at a time so an
+// online session can interleave query admission and cancellation with
+// processing. A StartExec followed by Step-until-false and Finish produces
+// a report byte-identical to Engine.ExecuteRun on the same inputs.
+//
+// Exec is not safe for concurrent use; the session subsystem serializes
+// all calls on one executor goroutine.
+type Exec struct {
+	st      *state
+	clock   *metrics.Clock
+	rep     *run.Report
+	drained bool
+}
+
+// StartExec builds the shared plan — partitions, output space, min-max
+// cuboid — over the engine's workload and returns a stepping handle. The
+// output space is built with KeepPruned so that regions the coarse-level
+// skyline retires (or cell pairs no initial query joins) keep their
+// geometry available for queries admitted mid-run; the retired tail is
+// born processed and costs the scheduler nothing until an admission
+// revives it.
+func (e *Engine) StartExec(clock *metrics.Clock, rep *run.Report) (*Exec, error) {
+	if e.opt.DataOrderScheduling {
+		return nil, fmt.Errorf("core: stepping execution requires CSM scheduling (DataOrderScheduling is a batch-only ablation)")
+	}
+	rcells, err := partition.Partition(e.r, partition.DefaultOptions(e.r.Len(), e.opt.TargetCells))
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning %s: %w", e.r.Schema.Name, err)
+	}
+	tcells, err := partition.Partition(e.t, partition.DefaultOptions(e.t.Len(), e.opt.TargetCells))
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning %s: %w", e.t.Schema.Name, err)
+	}
+	space, err := region.BuildSpace(e.w, rcells, tcells,
+		region.Options{GridResolution: e.opt.GridResolution, KeepPruned: true}, clock)
+	if err != nil {
+		return nil, fmt.Errorf("core: building output space: %w", err)
+	}
+	cuboid, err := skycube.BuildCuboid(e.w.Prefs())
+	if err != nil {
+		return nil, fmt.Errorf("core: building min-max cuboid: %w", err)
+	}
+	shared := skycube.NewSharedSkyline(cuboid, clock)
+
+	st := newState(e, clock, space, shared, rep)
+	for ri, r := range st.regions {
+		if r.Alive == 0 {
+			st.processed[ri] = true
+		}
+	}
+	st.initQueue()
+	st.deferrals = 0
+	return &Exec{st: st, clock: clock, rep: rep}, nil
+}
+
+// Step advances the execution by one scheduling decision (one region
+// processed at tuple level, with its discard/emission/feedback follow-ups).
+// It returns false when no schedulable region remains; the first such call
+// also flushes every still-parked final result, exactly like the end of a
+// batch run. A later Admit can make Step return true again.
+func (x *Exec) Step() bool {
+	if x.st.step() {
+		x.drained = false
+		return true
+	}
+	if !x.drained {
+		x.st.flushRemaining()
+		x.drained = true
+	}
+	return false
+}
+
+// Now returns the current virtual time in seconds.
+func (x *Exec) Now() float64 { return x.clock.Now() / metrics.VirtualSecond }
+
+// NumQueries returns the number of queries the execution currently serves,
+// including cancelled ones (local indices are never reused).
+func (x *Exec) NumQueries() int { return len(x.st.w.Queries) }
+
+// Finish finalizes the report with the current virtual time and counters.
+func (x *Exec) Finish() {
+	x.rep.Finish(x.clock.Now()/metrics.VirtualSecond, x.clock.Counters())
+}
+
+// Admit adds one query to the running execution and returns its local
+// index (also its report index for session-built reports). The query's
+// contract tracker is created from q.Contract — the session passes an
+// arrival-anchored contract so utilities are measured from admission, not
+// from session start. Admission performs real, clock-charged work:
+//
+//   - the shared skyline gains a dedicated window node for the query
+//     (skycube.AddDynamicQuery) and every existing result produced under
+//     the query's join condition is seeded into it;
+//   - if no earlier query used the join condition, its signature test runs
+//     over every retained cell pair (region.Space.ExtendJC);
+//   - regions whose pair passed the join condition are coarse-pruned for
+//     the new query alone, mirroring the build-time coarse skyline;
+//   - surviving regions are revived: live ones extend their Alive set,
+//     already-processed (or retired) ones reopen for the new query only —
+//     joinedJC guarantees a reopened region never re-joins a condition it
+//     already produced, so no earlier emission can be duplicated or
+//     retracted.
+//
+// Finally the new query's seeded candidates get their first safety check,
+// emitting any result already guaranteed final.
+func (x *Exec) Admit(q workload.Query, estTotal int) (int, error) {
+	st := x.st
+	w := st.w
+	if len(w.Queries) >= workload.MaxQueries {
+		return -1, fmt.Errorf("core: admission would exceed the %d-query limit", workload.MaxQueries)
+	}
+	if q.JC < 0 || q.JC >= len(w.JoinConds) {
+		return -1, fmt.Errorf("core: query %s references join condition %d of %d", q.Name, q.JC, len(w.JoinConds))
+	}
+	if len(q.Pref) == 0 {
+		return -1, fmt.Errorf("core: query %s has an empty skyline preference", q.Name)
+	}
+	for _, d := range q.Pref {
+		if d < 0 || d >= len(w.OutDims) {
+			return -1, fmt.Errorf("core: query %s preference uses output dimension %d of %d", q.Name, d, len(w.OutDims))
+		}
+	}
+	if q.Priority < 0 || q.Priority > 1 {
+		return -1, fmt.Errorf("core: query %s priority %g outside [0,1]", q.Name, q.Priority)
+	}
+	if q.Contract == nil {
+		return -1, fmt.Errorf("core: query %s has no contract", q.Name)
+	}
+
+	qi, err := st.shared.AddDynamicQuery(q.Pref)
+	if err != nil {
+		return -1, err
+	}
+	if qi != len(w.Queries) {
+		return -1, fmt.Errorf("core: skyline query index %d out of sync with workload size %d", qi, len(w.Queries))
+	}
+	w.Queries = append(w.Queries, q)
+
+	// Per-query executor state, exactly what newState derives per query.
+	st.weights = append(st.weights, 1+q.Priority)
+	st.pending = append(st.pending, nil)
+	st.blocked = append(st.blocked, make(map[int][]int))
+	st.frontier = append(st.frontier, nil)
+	st.frontierDirty = append(st.frontierDirty, true)
+	st.qremap = append(st.qremap, x.rep.AddQuery(q.Contract.NewTracker(estTotal)))
+	st.prefMask = append(st.prefMask, q.Pref.Mask())
+	st.kerns = append(st.kerns, preference.NewKernel(q.Pref))
+	st.jcQueries[q.JC] = st.jcQueries[q.JC].Add(qi)
+	st.domScratch = nil // re-sized lazily on next use
+
+	// Region space: test the query's join condition over every cell pair if
+	// no earlier query used it; fresh tail regions start retired and only
+	// the candidacy pass below can revive them.
+	st.space.ExtendJC(q.JC, st.clock)
+	st.regions = st.space.Regions
+	for len(st.processed) < len(st.regions) {
+		st.processed = append(st.processed, true)
+		st.joinedJC = append(st.joinedJC, 0)
+		st.inQueue = append(st.inQueue, false)
+		st.outEdges = append(st.outEdges, nil)
+		st.indegree = append(st.indegree, 0)
+	}
+
+	// Coarse-level skyline for the new query alone (§5.2 at admission): a
+	// candidate region fully dominated in q.Pref by another candidate
+	// cannot contribute a result.
+	jbit := uint64(1) << uint(q.JC)
+	var cands []*region.Region
+	for _, r := range st.regions {
+		if r.JCPass&jbit != 0 {
+			cands = append(cands, r)
+		}
+	}
+	pm := st.prefMask[qi]
+	for _, r := range cands {
+		dead := false
+		for _, o := range cands {
+			if o == r {
+				continue
+			}
+			st.clock.CountCellOp(1)
+			fullWeak, fullStrict, _, _ := region.DomMasks(o, r)
+			if pm&fullWeak == pm && pm&fullStrict != 0 {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			st.clock.CountRegionPruned()
+			continue
+		}
+		ri := r.ID
+		r.RQL = r.RQL.Add(qi)
+		if !st.processed[ri] {
+			r.Alive = r.Alive.Add(qi)
+		} else if st.joinedJC[ri]&jbit == 0 {
+			// Reopen for the new query only: the old queries already took
+			// (and emitted) everything they needed from this region, so
+			// restoring their bits would wrongly re-block their emissions.
+			r.Alive = skycube.QSet(0).Add(qi)
+			st.processed[ri] = false
+			if !st.inQueue[ri] {
+				st.pq.push(ri, st.csm(r))
+				st.inQueue[ri] = true
+			}
+		}
+		// Processed regions that already joined this condition stay closed:
+		// their results exist and are seeded below.
+	}
+
+	// Seed existing results produced under the query's join condition into
+	// its window, in deterministic ascending payload order; survivors queue
+	// for their first safety check. Results from regions the admission-time
+	// coarse prune rejected are skipped — a batch build would never have
+	// considered them for this query, and seeding them could perturb the
+	// final result set when the dominating region's join is empty.
+	for p := range st.payloads {
+		info := &st.payloads[p]
+		if info.jc != q.JC || !st.regions[info.reg].RQL.Has(qi) {
+			continue
+		}
+		info.lineage = info.lineage.Add(qi)
+		if st.shared.InsertForQuery(p, qi) {
+			st.pending[qi] = append(st.pending[qi], p)
+		}
+	}
+	st.emitSafe(skycube.QSet(0).Add(qi))
+	x.drained = false
+	return qi, nil
+}
+
+// Cancel retires a query mid-run: its regions lose their annotation (a
+// region left with no query is discarded exactly like one killed by
+// generated results), its parked candidates are dropped, and its contract
+// tracker is finalized at the current virtual time. Results already
+// emitted stay emitted — cancellation never retracts. Cancelling an
+// already-cancelled query is a no-op.
+func (x *Exec) Cancel(qi int) error {
+	st := x.st
+	if qi < 0 || qi >= len(st.w.Queries) {
+		return fmt.Errorf("core: cancel of unknown query %d", qi)
+	}
+	if st.cancelled.Has(qi) {
+		return nil
+	}
+	st.cancelled = st.cancelled.Add(qi)
+	st.jcQueries[st.w.Queries[qi].JC] &^= 1 << uint(qi)
+	for ri, r := range st.regions {
+		if !r.Alive.Has(qi) {
+			continue
+		}
+		r.Alive &^= 1 << uint(qi)
+		if r.Alive == 0 && !st.processed[ri] {
+			st.processed[ri] = true
+			st.inQueue[ri] = false
+			st.clock.CountRegionPruned()
+			st.releaseEdges(ri)
+		}
+	}
+	st.pending[qi] = st.pending[qi][:0]
+	st.blocked[qi] = make(map[int][]int)
+	st.frontier[qi] = nil
+	st.frontierDirty[qi] = false
+	st.rep.Trackers[st.qremap[qi]].Finalize(x.Now())
+	return nil
+}
+
+// Cancelled reports whether a query has been cancelled.
+func (x *Exec) Cancelled(qi int) bool { return x.st.cancelled.Has(qi) }
+
+// QueryDone reports whether a query can receive no further results: it was
+// cancelled, or no live region serves it and no candidate awaits a safety
+// check. Once true it stays true — late admissions only ever revive
+// regions for the admitted query itself.
+func (x *Exec) QueryDone(qi int) bool {
+	st := x.st
+	if qi < 0 || qi >= len(st.w.Queries) {
+		return true
+	}
+	if st.cancelled.Has(qi) {
+		return true
+	}
+	if len(st.pending[qi]) > 0 || len(st.blocked[qi]) > 0 {
+		return false
+	}
+	for ri, r := range st.regions {
+		if !st.processed[ri] && r.Alive.Has(qi) {
+			return false
+		}
+	}
+	return true
+}
+
+// Delivered returns the number of results delivered so far to a query.
+func (x *Exec) Delivered(qi int) int {
+	return len(x.rep.PerQuery[x.st.qremap[qi]])
+}

@@ -17,6 +17,8 @@ import (
 // payloadInfo records one materialized join result.
 type payloadInfo struct {
 	rid, tid int
+	jc       int // join condition that produced the result
+	reg      int // region (cell pair) that produced the result
 	out      []float64
 	lineage  skycube.QSet
 	emitted  skycube.QSet
@@ -52,6 +54,20 @@ type state struct {
 	pending  [][]int         // per query: new candidate payloads awaiting their first safety check
 	blocked  []map[int][]int // per query: blocking live region index -> parked payloads
 	qremap   []int           // local query index -> report query index
+
+	// deferrals counts consecutive lazy-refresh re-queues (bounded to
+	// guarantee progress); a field rather than a loop local so a stepping
+	// execution (Exec) carries it across Step calls exactly like the batch
+	// loop carries it across iterations.
+	deferrals int
+	// cancelled marks queries retired mid-run by an online session; they are
+	// skipped by the feedback update and the final flush. Always zero in
+	// batch executions.
+	cancelled skycube.QSet
+	// joinedJC records, per region, the join conditions already evaluated at
+	// tuple level, so a region reopened for a late-admitted query never
+	// re-joins (and re-emits) a condition it already produced.
+	joinedJC []uint64
 
 	frontier      [][]frontierCorner // per query: minimal best corners of live regions
 	frontierDirty []bool
@@ -99,6 +115,7 @@ func newState(e *Engine, clock *metrics.Clock, space *region.Space, shared *skyc
 		blocked:       make([]map[int][]int, nq),
 		frontier:      make([][]frontierCorner, nq),
 		frontierDirty: make([]bool, nq),
+		joinedJC:      make([]uint64, len(space.Regions)),
 	}
 	for i := range st.blocked {
 		st.blocked[i] = make(map[int][]int)
@@ -134,14 +151,26 @@ func (st *state) run() {
 		return
 	}
 	st.initQueue()
-	deferrals := 0
+	st.deferrals = 0
+	for st.step() {
+	}
+	st.flushRemaining()
+}
+
+// step runs one Algorithm 1 iteration: pop the best root, lazily refresh
+// its score, and process it at tuple level. It returns false once the
+// queue is drained. Extracted from the batch loop so an online session can
+// interleave scheduling decisions with query admission and cancellation;
+// a plain `for st.step() {}` reproduces the batch loop exactly.
+func (st *state) step() bool {
 	for st.pq.Len() > 0 {
 		it, popped := st.pq.popBest()
 		if !popped {
-			break
+			return false
 		}
 		ri := it.region
 		if st.processed[ri] {
+			st.inQueue[ri] = false // stale entry of a region retired in-queue
 			continue
 		}
 		st.inQueue[ri] = false
@@ -151,17 +180,17 @@ func (st *state) run() {
 		// counted coarse work), so deferrals are bounded to guarantee
 		// progress.
 		score := it.score
-		if deferrals < 3 && st.pq.Len() > 0 {
+		if st.deferrals < 3 && st.pq.Len() > 0 {
 			score = st.csm(st.regions[ri])
 			if next, ok := st.pq.peekBucket(); ok && scoreBucket(score) < next {
 				st.pq.push(ri, score)
 				st.inQueue[ri] = true
-				deferrals++
+				st.deferrals++
 				st.traceDefer(ri, score)
 				continue
 			}
 		}
-		deferrals = 0
+		st.deferrals = 0
 		st.traceDecision(ri, score)
 
 		rc := st.regions[ri]
@@ -179,8 +208,9 @@ func (st *state) run() {
 		if !st.e.opt.DisableFeedback {
 			st.updateWeights()
 		}
+		return true
 	}
-	st.flushRemaining()
+	return false
 }
 
 // runDataOrder pipelines the regions through the shared plan blindly in
@@ -210,11 +240,13 @@ func (st *state) runDataOrder() {
 }
 
 // initQueue seeds the priority queue with the dependency-graph roots.
+// Regions already marked processed (the retired tail a KeepPruned build
+// carries for late admissions) never enter the queue.
 func (st *state) initQueue() {
 	st.pq = newCSMHeap()
 	st.inQueue = make([]bool, len(st.regions))
 	for i := range st.regions {
-		if st.indegree[i] == 0 {
+		if st.indegree[i] == 0 && !st.processed[i] {
 			st.pq.push(i, st.csm(st.regions[i]))
 			st.inQueue[i] = true
 		}
@@ -234,9 +266,10 @@ func (st *state) processRegion(rc *region.Region) []int {
 	var created []int
 	for j, jc := range st.w.JoinConds {
 		qmask := st.jcQueries[j] & rc.Alive
-		if qmask == 0 {
+		if qmask == 0 || st.joinedJC[rc.ID]&(1<<uint(j)) != 0 {
 			continue
 		}
+		st.joinedJC[rc.ID] |= 1 << uint(j)
 		// The scratch results (and their flat coordinate backing) are only
 		// valid until the next join call, so durable coordinates are read
 		// back from the shared arena after insertion.
@@ -245,7 +278,8 @@ func (st *state) processRegion(rc *region.Region) []int {
 			payload := len(st.payloads)
 			alive := st.shared.Insert(payload, res.Out, qmask)
 			st.payloads = append(st.payloads, payloadInfo{
-				rid: res.RID, tid: res.TID, out: st.shared.PointVals(payload), lineage: qmask,
+				rid: res.RID, tid: res.TID, jc: j, reg: rc.ID,
+				out: st.shared.PointVals(payload), lineage: qmask,
 			})
 			created = append(created, payload)
 			for qi := alive.Next(0); qi >= 0; qi = alive.Next(qi + 1) {
@@ -291,6 +325,12 @@ func (st *state) discardDominated(rc *region.Region, newPayloads []int) skycube.
 					st.traceDiscard(fi, qi)
 					if rf.Alive == 0 {
 						st.processed[fi] = true
+						if st.inQueue != nil {
+							// The region dies with its queue entry still
+							// enqueued; mark it out so a later reopen (online
+							// admission) knows to re-push it.
+							st.inQueue[fi] = false
+						}
 						st.clock.CountRegionPruned()
 						st.releaseEdges(fi)
 					}
@@ -450,19 +490,28 @@ func (st *state) updateWeights() {
 	vmax := 0.0
 	vs := make([]float64, n)
 	for i := 0; i < n; i++ {
+		if st.cancelled.Has(i) {
+			continue
+		}
 		vs[i] = st.rep.Trackers[st.qremap[i]].Runtime()
 		if vs[i] > vmax {
 			vmax = vs[i]
 		}
 	}
 	den := 0.0
-	for _, v := range vs {
+	for i, v := range vs {
+		if st.cancelled.Has(i) {
+			continue
+		}
 		den += vmax - v
 	}
 	if den <= 0 {
 		return
 	}
 	for i := range st.weights {
+		if st.cancelled.Has(i) {
+			continue
+		}
 		st.weights[i] += (vmax - vs[i]) / den
 	}
 	st.traceFeedback(vs, vmax, den)
@@ -473,6 +522,9 @@ func (st *state) updateWeights() {
 // final. Payloads are emitted in deterministic ascending order.
 func (st *state) flushRemaining() {
 	for qi := range st.pending {
+		if st.cancelled.Has(qi) {
+			continue
+		}
 		var rest []int
 		rest = append(rest, st.pending[qi]...)
 		var keys []int
@@ -483,8 +535,11 @@ func (st *state) flushRemaining() {
 		for _, f := range keys {
 			rest = append(rest, st.blocked[qi][f]...)
 		}
-		st.blocked[qi] = nil
-		st.pending[qi] = nil
+		// Reset rather than nil out: an online session can admit another
+		// query (or revive regions) after a drain, and the executor's
+		// bookkeeping must stay usable.
+		st.blocked[qi] = make(map[int][]int)
+		st.pending[qi] = st.pending[qi][:0]
 		sort.Ints(rest)
 		for _, p := range rest {
 			info := &st.payloads[p]

@@ -33,6 +33,11 @@ type Region struct {
 	// the region cannot contribute (§5.2). Execution further shrinks Alive
 	// as tuple-level results dominate the region.
 	Alive skycube.QSet
+	// JCPass is the bitmask of join-condition indices whose signature test
+	// passed for this cell pair, among the conditions tested so far (see
+	// Space.TestedJC). It lets an online session decide whether a region
+	// can serve a query admitted mid-run.
+	JCPass uint64
 }
 
 // String renders the region compactly.
@@ -88,6 +93,15 @@ type Space struct {
 
 	GridLo   []float64 // global lower bound of the output space
 	GridStep []float64 // grid cell extent per output dimension
+
+	// RCells and TCells are the input leaf cells the space was built from,
+	// retained so an online session can extend the space when a query
+	// admitted mid-run references a join condition no earlier query used.
+	RCells, TCells []*partition.Cell
+	// TestedJC is the bitmask of join-condition indices whose signature
+	// tests have run over every cell pair (at build time: the conditions
+	// referenced by at least one query; ExtendJC adds the rest on demand).
+	TestedJC uint64
 }
 
 // Options configures MQLA.
@@ -95,6 +109,13 @@ type Options struct {
 	// GridResolution is the number of grid cells per output dimension
 	// (default 64) spanning the global output bounds.
 	GridResolution int
+	// KeepPruned retains coarse-pruned regions (Alive == 0) at the tail of
+	// the region list instead of discarding them, preserving their geometry
+	// for queries admitted mid-run by an online session. Surviving regions
+	// keep exactly the IDs and order a pruning build would assign, and the
+	// clock charges are identical, so execution over the live prefix is
+	// byte-identical to a KeepPruned-off build.
+	KeepPruned bool
 }
 
 // BuildSpace performs the coarse-level join of §5.1: every pair of input
@@ -118,10 +139,16 @@ func BuildSpace(w *workload.Workload, rcells, tcells []*partition.Cell, opt Opti
 		jcQueries[j] = w.QueriesWithJC(j)
 	}
 
-	s := &Space{W: w}
+	s := &Space{W: w, RCells: rcells, TCells: tcells}
+	for j := range w.JoinConds {
+		if jcQueries[j] != 0 {
+			s.TestedJC |= 1 << uint(j)
+		}
+	}
 	for _, rc := range rcells {
 		for _, tc := range tcells {
 			var rql skycube.QSet
+			var jcPass uint64
 			for j, jc := range w.JoinConds {
 				if jcQueries[j] == 0 {
 					continue
@@ -131,6 +158,7 @@ func BuildSpace(w *workload.Workload, rcells, tcells []*partition.Cell, opt Opti
 				}
 				if rc.Sigs[jc.LeftKey].Intersects(tc.Sigs[jc.RightKey], clock) {
 					rql |= jcQueries[j]
+					jcPass |= 1 << uint(j)
 				}
 			}
 			if rql == 0 {
@@ -140,13 +168,14 @@ func BuildSpace(w *workload.Workload, rcells, tcells []*partition.Cell, opt Opti
 				continue
 			}
 			reg := &Region{
-				ID:    len(s.Regions),
-				RCell: rc,
-				TCell: tc,
-				Lo:    make([]float64, len(w.OutDims)),
-				Hi:    make([]float64, len(w.OutDims)),
-				RQL:   rql,
-				Alive: rql,
+				ID:     len(s.Regions),
+				RCell:  rc,
+				TCell:  tc,
+				Lo:     make([]float64, len(w.OutDims)),
+				Hi:     make([]float64, len(w.OutDims)),
+				RQL:    rql,
+				Alive:  rql,
+				JCPass: jcPass,
 			}
 			for k, f := range w.OutDims {
 				reg.Lo[k], reg.Hi[k] = f.Bounds(rc.Lo, rc.Hi, tc.Lo, tc.Hi)
@@ -156,7 +185,7 @@ func BuildSpace(w *workload.Workload, rcells, tcells []*partition.Cell, opt Opti
 	}
 
 	s.initGrid(res)
-	s.coarsePrune(clock)
+	s.coarsePrune(clock, opt.KeepPruned)
 	return s, nil
 }
 
@@ -206,7 +235,11 @@ func (s *Space) initGrid(res int) {
 // and then reused across every shared query — the coarse-level analogue of
 // the paper's "comparisons along shared dimensions only once" (§4.1); the
 // single mask computation is charged as one cell-level operation.
-func (s *Space) coarsePrune(clock *metrics.Clock) {
+//
+// With keepPruned, dead regions are moved to the tail of the list (IDs
+// after every survivor) instead of discarded; survivors keep the exact IDs
+// of a discarding build and the pruning charges are identical.
+func (s *Space) coarsePrune(clock *metrics.Clock, keepPruned bool) {
 	prefMask := make([]uint64, len(s.W.Queries))
 	for qi, q := range s.W.Queries {
 		prefMask[qi] = q.Pref.Mask()
@@ -229,16 +262,73 @@ func (s *Space) coarsePrune(clock *metrics.Clock) {
 			}
 		}
 	}
+	var pruned []*Region
 	kept := s.Regions[:0]
 	for _, r := range s.Regions {
 		if r.Alive != 0 {
 			r.ID = len(kept)
 			kept = append(kept, r)
-		} else if clock != nil {
+			continue
+		}
+		if clock != nil {
 			clock.CountRegionPruned()
 		}
+		if keepPruned {
+			pruned = append(pruned, r)
+		}
+	}
+	for _, r := range pruned {
+		r.ID = len(kept)
+		kept = append(kept, r)
 	}
 	s.Regions = kept
+}
+
+// ExtendJC runs the coarse-level join for one join condition that was not
+// tested when the space was built — a query admitted mid-run references it.
+// Every retained cell pair gets the signature test, charged to the clock
+// exactly as at build time; passing pairs mark JCPass on their existing
+// region, or, when the pair produced no region at build time, gain a fresh
+// region appended at the tail with empty lineage (the admitting session
+// re-opens it for the new query). Grid geometry is left untouched so
+// emission decisions for pre-existing queries cannot shift.
+func (s *Space) ExtendJC(j int, clock *metrics.Clock) {
+	if s.TestedJC&(1<<uint(j)) != 0 {
+		return
+	}
+	s.TestedJC |= 1 << uint(j)
+	jc := s.W.JoinConds[j]
+	type pair struct{ r, t int }
+	byPair := make(map[pair]*Region, len(s.Regions))
+	for _, r := range s.Regions {
+		byPair[pair{r.RCell.ID, r.TCell.ID}] = r
+	}
+	for _, rc := range s.RCells {
+		for _, tc := range s.TCells {
+			if clock != nil {
+				clock.CountCellOp(1)
+			}
+			if !rc.Sigs[jc.LeftKey].Intersects(tc.Sigs[jc.RightKey], clock) {
+				continue
+			}
+			if r := byPair[pair{rc.ID, tc.ID}]; r != nil {
+				r.JCPass |= 1 << uint(j)
+				continue
+			}
+			reg := &Region{
+				ID:     len(s.Regions),
+				RCell:  rc,
+				TCell:  tc,
+				Lo:     make([]float64, len(s.W.OutDims)),
+				Hi:     make([]float64, len(s.W.OutDims)),
+				JCPass: 1 << uint(j),
+			}
+			for k, f := range s.W.OutDims {
+				reg.Lo[k], reg.Hi[k] = f.Bounds(rc.Lo, rc.Hi, tc.Lo, tc.Hi)
+			}
+			s.Regions = append(s.Regions, reg)
+		}
+	}
 }
 
 // DomMasks resolves the dominance geometry of an ordered region pair once,

@@ -66,6 +66,16 @@ func NewReport(strategy string, w *workload.Workload, estTotals []int) *Report {
 	return r
 }
 
+// AddQuery extends a (possibly running) report with one more query slot
+// using the given contract tracker, returning the new query's report index.
+// The online session subsystem calls it when a query is admitted mid-run;
+// batch executions never do.
+func (r *Report) AddQuery(t contract.Tracker) int {
+	r.PerQuery = append(r.PerQuery, nil)
+	r.Trackers = append(r.Trackers, t)
+	return len(r.Trackers) - 1
+}
+
 // StartTrace attaches a trace sink and emits the run-start event. Call it
 // after NewReport and before the first Emit; a nil tracer is a no-op, so
 // callers can pass their options field through unconditionally.

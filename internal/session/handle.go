@@ -1,0 +1,161 @@
+package session
+
+import (
+	"sync"
+
+	"caqe/internal/run"
+	"caqe/internal/workload"
+)
+
+// Handle is one submitted query's view of the session: identity, arrival
+// time, lifecycle state and the stream of guaranteed-final results.
+//
+// The executor pushes emissions into an unbounded buffer under the
+// handle's lock and never blocks on a consumer; a per-handle pump
+// goroutine (started by the first Results call) drains the buffer into
+// the public channel and closes it when the query can receive no further
+// results.
+type Handle struct {
+	id      int
+	name    string
+	arrival float64 // virtual seconds at admission (0 for initial queries)
+
+	// Executor-owned; query and estTotal only matter while queued.
+	local    int
+	query    workload.Query
+	estTotal int
+
+	mu     sync.Mutex
+	st     queryState
+	buf    []run.Emission
+	closed bool // stream complete: no further pushes
+
+	pumpOnce sync.Once
+	out      chan run.Emission
+	signal   chan struct{} // 1-buffered nudge: buffer or closed changed
+	dropped  chan struct{} // closed when the consumer abandons the stream
+}
+
+func newHandle(id int, name string) *Handle {
+	return &Handle{
+		id:      id,
+		name:    name,
+		local:   -1,
+		st:      StateQueued,
+		signal:  make(chan struct{}, 1),
+		dropped: make(chan struct{}),
+	}
+}
+
+// ID returns the query's session-wide identifier (its submission order).
+func (h *Handle) ID() int { return h.id }
+
+// Name returns the query's name as submitted.
+func (h *Handle) Name() string { return h.name }
+
+// Arrival returns the virtual time (seconds) at which the query was
+// admitted; zero for queries that joined the initial workload.
+func (h *Handle) Arrival() float64 { return h.arrival }
+
+// State returns the query's current lifecycle state.
+func (h *Handle) State() string {
+	return string(h.state())
+}
+
+func (h *Handle) state() queryState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.st
+}
+
+func (h *Handle) setState(st queryState) {
+	h.mu.Lock()
+	h.st = st
+	h.mu.Unlock()
+}
+
+// push appends one emission to the stream (executor goroutine only).
+func (h *Handle) push(e run.Emission) {
+	h.mu.Lock()
+	if !h.closed {
+		h.buf = append(h.buf, e)
+	}
+	h.mu.Unlock()
+	h.nudge()
+}
+
+// finish marks the stream complete in the given terminal state.
+func (h *Handle) finish(st queryState) {
+	h.mu.Lock()
+	h.st = st
+	h.closed = true
+	h.mu.Unlock()
+	h.nudge()
+}
+
+func (h *Handle) nudge() {
+	select {
+	case h.signal <- struct{}{}:
+	default:
+	}
+}
+
+// Results returns the query's result stream. Every emission is a
+// guaranteed-final tuple; the channel closes when the query has received
+// its full result set or was cancelled. The stream is single-consumer:
+// all calls return the same channel.
+func (h *Handle) Results() <-chan run.Emission {
+	h.pumpOnce.Do(func() {
+		h.out = make(chan run.Emission)
+		go h.pump()
+	})
+	return h.out
+}
+
+// Abandon tells the pump no consumer will read Results again, unblocking
+// and terminating it. Sessions serving network clients call this when the
+// client disconnects; the query itself keeps running until cancelled.
+func (h *Handle) Abandon() {
+	h.mu.Lock()
+	select {
+	case <-h.dropped:
+	default:
+		close(h.dropped)
+	}
+	h.mu.Unlock()
+}
+
+func (h *Handle) pump() {
+	var batch []run.Emission
+	for {
+		h.mu.Lock()
+		batch = append(batch[:0], h.buf...)
+		h.buf = h.buf[:0]
+		done := h.closed
+		h.mu.Unlock()
+		for _, e := range batch {
+			select {
+			case h.out <- e:
+			case <-h.dropped:
+				return
+			}
+		}
+		if done {
+			// Everything buffered before the close flag was set has been
+			// forwarded; no further pushes can happen.
+			h.mu.Lock()
+			empty := len(h.buf) == 0
+			h.mu.Unlock()
+			if empty {
+				close(h.out)
+				return
+			}
+			continue
+		}
+		select {
+		case <-h.signal:
+		case <-h.dropped:
+			return
+		}
+	}
+}

@@ -1,0 +1,535 @@
+// Package session implements online, long-lived CAQE executions: a Session
+// wraps the engine's stepping loop (core.Exec) with a lifecycle API — open
+// over loaded relations, submit queries while the workload is already
+// running, cancel them, stream each query's guaranteed-final results — so
+// the batch engine becomes a decision-support service.
+//
+// A session owns one executor goroutine. Every mutation (submit, cancel,
+// close) is a closure handed to that goroutine over an unbuffered channel
+// and executed between scheduling steps, so the engine state needs no
+// locking and the virtual clock stays strictly serial. Result delivery
+// never blocks the executor: each query's emissions go to an unbounded
+// per-handle buffer drained by the handle's own pump goroutine.
+//
+// Queries submitted before execution starts form the initial workload and
+// take the exact batch path — a session whose queries are all
+// pre-submitted produces a report byte-identical to caqe.Run. Queries
+// submitted later are admitted mid-run (core.Exec.Admit) with their
+// contract clock anchored at the arrival virtual time, and never perturb
+// results already emitted.
+package session
+
+import (
+	"errors"
+	"fmt"
+
+	"caqe/internal/contract"
+	"caqe/internal/core"
+	"caqe/internal/join"
+	"caqe/internal/metrics"
+	"caqe/internal/run"
+	"caqe/internal/trace"
+	"caqe/internal/tuple"
+	"caqe/internal/workload"
+)
+
+// Sentinel errors of the admission lifecycle.
+var (
+	// ErrClosed is returned by every operation on a closed session.
+	ErrClosed = errors.New("session: closed")
+	// ErrDraining rejects submissions while the session drains for shutdown.
+	ErrDraining = errors.New("session: draining, not accepting queries")
+	// ErrAdmissionFull rejects submissions beyond the configured concurrent
+	// admission cap (HTTP servers map it to 429).
+	ErrAdmissionFull = errors.New("session: concurrent admission limit reached")
+	// ErrSessionFull rejects submissions past the lifetime query-set limit
+	// (workload.MaxQueries; query indices are never reused).
+	ErrSessionFull = errors.New("session: lifetime query limit reached")
+	// ErrUnknownQuery is returned for operations on query IDs never issued.
+	ErrUnknownQuery = errors.New("session: unknown query")
+)
+
+// Config describes an online session: the loaded relations, the shared
+// output-space vocabulary every query draws from, and service limits.
+type Config struct {
+	// R and T are the session's base relations, fixed for its lifetime.
+	R, T *tuple.Relation
+	// JoinConds is the catalogue of join conditions queries may reference
+	// (by index). Conditions no query uses cost nothing until first used.
+	JoinConds []join.EquiJoin
+	// OutDims is the shared output space; query preferences index into it.
+	OutDims []join.MapFunc
+	// Engine tunes the underlying CAQE engine.
+	Engine core.Options
+	// MaxConcurrent caps the number of simultaneously open (admitted, not
+	// yet finished) queries; 0 means workload.MaxQueries. It is clamped to
+	// workload.MaxQueries, the representation limit of the engine.
+	MaxConcurrent int
+	// Tracer, when set, receives the session's structured execution trace
+	// (it overrides Engine.Tracer).
+	Tracer trace.Tracer
+}
+
+// queryState is the lifecycle phase of one submitted query.
+type queryState string
+
+const (
+	// StateQueued: submitted before the session started executing.
+	StateQueued queryState = "queued"
+	// StateRunning: part of the live execution.
+	StateRunning queryState = "running"
+	// StateDone: all results delivered, stream closed.
+	StateDone queryState = "done"
+	// StateCancelled: retired by Cancel; stream closed, no retractions.
+	StateCancelled queryState = "cancelled"
+)
+
+// Session is one online CAQE execution. All methods are safe for
+// concurrent use from any goroutine.
+type Session struct {
+	cfg  Config
+	cmds chan func()
+	// closed is closed when the executor goroutine has exited; closeErr is
+	// set before that.
+	closed chan struct{}
+
+	// Everything below is owned by the executor goroutine.
+	started  bool
+	draining bool
+	clock    *metrics.Clock
+	rep      *run.Report
+	x        *core.Exec
+	w        *workload.Workload
+	handles  []*Handle // by session query ID (== submission order)
+	byLocal  []*Handle // by engine-local query index
+	waiters  []chan struct{}
+}
+
+// Open validates the configuration and starts the session's executor.
+// Execution itself begins lazily: queries submitted before Start form the
+// initial workload and run exactly as a batch caqe.Run would.
+func Open(cfg Config) (*Session, error) {
+	if cfg.R == nil || cfg.T == nil {
+		return nil, fmt.Errorf("session: nil input relation")
+	}
+	if len(cfg.JoinConds) == 0 {
+		return nil, fmt.Errorf("session: no join conditions")
+	}
+	if len(cfg.OutDims) == 0 {
+		return nil, fmt.Errorf("session: no output dimensions")
+	}
+	for i, f := range cfg.OutDims {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("session: output dimension %d: %w", i, err)
+		}
+	}
+	if cfg.MaxConcurrent <= 0 || cfg.MaxConcurrent > workload.MaxQueries {
+		cfg.MaxConcurrent = workload.MaxQueries
+	}
+	if cfg.Tracer != nil {
+		cfg.Engine.Tracer = cfg.Tracer
+	}
+	s := &Session{
+		cfg:    cfg,
+		cmds:   make(chan func()),
+		closed: make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// do runs fn on the executor goroutine and waits for it.
+func (s *Session) do(fn func()) error {
+	done := make(chan struct{})
+	select {
+	case s.cmds <- func() { fn(); close(done) }:
+	case <-s.closed:
+		return ErrClosed
+	}
+	<-done
+	return nil
+}
+
+// loop is the executor: commands take priority, then one scheduling step;
+// when neither is available it blocks for the next command. On drain it
+// steps until no work remains, finalizes, and exits.
+func (s *Session) loop() {
+	defer close(s.closed)
+	for {
+		select {
+		case fn := <-s.cmds:
+			fn()
+			s.sweep()
+			continue
+		default:
+		}
+		if s.x != nil && s.x.Step() {
+			s.sweep()
+			continue
+		}
+		// Step returned false: the engine just flushed its remaining final
+		// results (or has not started); completion states may have changed.
+		s.sweep()
+		if s.draining {
+			s.shutdown()
+			return
+		}
+		fn := <-s.cmds
+		fn()
+		s.sweep()
+	}
+}
+
+// sweep closes the stream of every running query that can receive no
+// further results, and releases Wait callers once nothing is in flight.
+func (s *Session) sweep() {
+	if s.x != nil {
+		for _, h := range s.byLocal {
+			if h.state() == StateRunning && s.x.QueryDone(h.local) {
+				h.finish(StateDone)
+			}
+		}
+	}
+	if len(s.waiters) > 0 && s.open() == 0 {
+		for _, ch := range s.waiters {
+			close(ch)
+		}
+		s.waiters = nil
+	}
+}
+
+// shutdown finalizes the report and closes every remaining stream.
+func (s *Session) shutdown() {
+	if s.x != nil {
+		s.x.Finish()
+	}
+	for _, h := range s.handles {
+		switch h.state() {
+		case StateDone, StateCancelled:
+		default:
+			h.finish(StateDone)
+		}
+	}
+}
+
+// validate checks a query against the session's shared vocabulary — the
+// same rules workload.Validate and core.Exec.Admit apply, surfaced before
+// the query is accepted into the buffer.
+func (s *Session) validate(q workload.Query) error {
+	if q.JC < 0 || q.JC >= len(s.cfg.JoinConds) {
+		return fmt.Errorf("session: query %s references join condition %d of %d", q.Name, q.JC, len(s.cfg.JoinConds))
+	}
+	if len(q.Pref) == 0 {
+		return fmt.Errorf("session: query %s has an empty skyline preference", q.Name)
+	}
+	for _, d := range q.Pref {
+		if d < 0 || d >= len(s.cfg.OutDims) {
+			return fmt.Errorf("session: query %s preference uses output dimension %d of %d", q.Name, d, len(s.cfg.OutDims))
+		}
+	}
+	if q.Priority < 0 || q.Priority > 1 {
+		return fmt.Errorf("session: query %s priority %g outside [0,1]", q.Name, q.Priority)
+	}
+	if q.Contract == nil {
+		return fmt.Errorf("session: query %s has no contract", q.Name)
+	}
+	return nil
+}
+
+// open counts queries admitted and not yet finished.
+func (s *Session) open() int {
+	n := 0
+	for _, h := range s.handles {
+		switch h.state() {
+		case StateQueued, StateRunning:
+			n++
+		}
+	}
+	return n
+}
+
+// Submit admits one query. Before the session starts executing, the query
+// joins the initial (batch-identical) workload; afterwards it is admitted
+// into the running execution with its contract anchored at the arrival
+// virtual time, so "deliver within 30s" means 30 virtual seconds from
+// admission, not from session start. estTotal optionally supplies the
+// expected final result cardinality for cardinality-based contracts (0 if
+// unknown). The returned handle streams the query's guaranteed-final
+// results.
+func (s *Session) Submit(q workload.Query, estTotal int) (*Handle, error) {
+	var h *Handle
+	var err error
+	derr := s.do(func() { h, err = s.submit(q, estTotal) })
+	if derr != nil {
+		return nil, derr
+	}
+	return h, err
+}
+
+func (s *Session) submit(q workload.Query, estTotal int) (*Handle, error) {
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if len(s.handles) >= workload.MaxQueries {
+		return nil, ErrSessionFull
+	}
+	if s.open() >= s.cfg.MaxConcurrent {
+		return nil, ErrAdmissionFull
+	}
+	if err := s.validate(q); err != nil {
+		return nil, err
+	}
+
+	h := newHandle(len(s.handles), q.Name)
+	if !s.started {
+		h.query, h.estTotal = q, estTotal
+		h.setState(StateQueued)
+		s.handles = append(s.handles, h)
+		return h, nil
+	}
+
+	// Mid-run admission: anchor the contract at the arrival virtual time.
+	// The handle registers under its (deterministic) local index before
+	// Admit runs, because admission itself can emit already-final results
+	// for the new query.
+	h.arrival = s.x.Now()
+	q.Contract = contract.Anchored(q.Contract, h.arrival)
+	h.local = len(s.byLocal)
+	h.setState(StateRunning)
+	s.byLocal = append(s.byLocal, h)
+	local, err := s.x.Admit(q, estTotal)
+	if err != nil {
+		s.byLocal = s.byLocal[:len(s.byLocal)-1]
+		return nil, err
+	}
+	if local != h.local {
+		s.byLocal = s.byLocal[:len(s.byLocal)-1]
+		return nil, fmt.Errorf("session: engine assigned query index %d, expected %d", local, h.local)
+	}
+	s.handles = append(s.handles, h)
+	return h, nil
+}
+
+// Start begins execution over every query submitted so far (the batch
+// path). It is idempotent; a session with no submissions yet starts on the
+// next Submit instead. Callers that never invoke Start get the same
+// behavior on the first call to Close or Wait.
+func (s *Session) Start() error {
+	var err error
+	derr := s.do(func() { err = s.start() })
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
+func (s *Session) start() error {
+	if s.started {
+		return nil
+	}
+	w := &workload.Workload{
+		JoinConds: s.cfg.JoinConds,
+		OutDims:   s.cfg.OutDims,
+	}
+	var totals []int
+	for _, h := range s.handles {
+		if h.state() != StateQueued {
+			continue
+		}
+		h.local = len(w.Queries)
+		w.Queries = append(w.Queries, h.query)
+		totals = append(totals, h.estTotal)
+		s.byLocal = append(s.byLocal, h)
+	}
+	if len(w.Queries) == 0 {
+		s.byLocal = nil
+		return nil // nothing to run yet; first Submit triggers the start
+	}
+	eng, err := core.New(w, s.cfg.R, s.cfg.T, s.cfg.Engine)
+	if err != nil {
+		s.byLocal = nil
+		return err
+	}
+	s.w = w
+	s.clock = metrics.NewClock()
+	s.rep = run.NewReport("CAQE", w, totals)
+	s.rep.OnEmit = s.deliver
+	s.rep.StartTrace(s.cfg.Engine.Tracer)
+	x, err := eng.StartExec(s.clock, s.rep)
+	if err != nil {
+		s.byLocal = nil
+		return err
+	}
+	s.x = x
+	s.started = true
+	for _, h := range s.byLocal {
+		h.setState(StateRunning)
+	}
+	return nil
+}
+
+// deliver routes one emission to its query's stream (executor goroutine;
+// report query indices coincide with engine-local ones for session runs).
+func (s *Session) deliver(e run.Emission) {
+	s.byLocal[e.Query].push(e)
+}
+
+// Cancel retires a query: queued queries leave the pending workload,
+// running ones are cancelled inside the engine (regions reclaimed, tracker
+// finalized at the cancel time). Results already delivered stand. Idempotent
+// for already-finished queries.
+func (s *Session) Cancel(id int) error {
+	var err error
+	derr := s.do(func() { err = s.cancel(id) })
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
+func (s *Session) cancel(id int) error {
+	if id < 0 || id >= len(s.handles) {
+		return ErrUnknownQuery
+	}
+	h := s.handles[id]
+	switch h.state() {
+	case StateDone, StateCancelled:
+		return nil
+	case StateQueued:
+		h.finish(StateCancelled)
+		return nil
+	}
+	if err := s.x.Cancel(h.local); err != nil {
+		return err
+	}
+	h.finish(StateCancelled)
+	return nil
+}
+
+// Query returns the handle of a previously submitted query.
+func (s *Session) Query(id int) (*Handle, error) {
+	var h *Handle
+	derr := s.do(func() {
+		if id >= 0 && id < len(s.handles) {
+			h = s.handles[id]
+		}
+	})
+	if derr != nil {
+		return nil, derr
+	}
+	if h == nil {
+		return nil, ErrUnknownQuery
+	}
+	return h, nil
+}
+
+// QueryStats is one query's row in a Stats snapshot.
+type QueryStats struct {
+	ID           int     `json:"id"`
+	Name         string  `json:"name"`
+	State        string  `json:"state"`
+	Arrival      float64 `json:"arrival"`      // virtual seconds at admission
+	Delivered    int     `json:"delivered"`    // results streamed so far
+	Satisfaction float64 `json:"satisfaction"` // contract satisfaction so far
+}
+
+// Stats is a point-in-time view of the session.
+type Stats struct {
+	Now       float64          `json:"now"` // virtual seconds
+	Started   bool             `json:"started"`
+	Draining  bool             `json:"draining"`
+	Open      int              `json:"open"` // admitted, not yet finished
+	Submitted int              `json:"submitted"`
+	Queries   []QueryStats     `json:"queries"`
+	Counters  metrics.Counters `json:"counters"`
+}
+
+// Stats snapshots the session between scheduling steps.
+func (s *Session) Stats() (Stats, error) {
+	var st Stats
+	derr := s.do(func() { st = s.stats() })
+	if derr != nil {
+		return Stats{}, derr
+	}
+	return st, nil
+}
+
+func (s *Session) stats() Stats {
+	st := Stats{
+		Started:   s.started,
+		Draining:  s.draining,
+		Open:      s.open(),
+		Submitted: len(s.handles),
+	}
+	if s.x != nil {
+		st.Now = s.x.Now()
+		st.Counters = s.clock.Counters()
+	}
+	for _, h := range s.handles {
+		qs := QueryStats{
+			ID:      h.id,
+			Name:    h.name,
+			State:   string(h.state()),
+			Arrival: h.arrival,
+		}
+		if h.state() != StateQueued && s.rep != nil && h.local >= 0 && h.local < len(s.rep.Trackers) {
+			qs.Delivered = len(s.rep.PerQuery[h.local])
+			qs.Satisfaction = contract.AvgSatisfaction(s.rep.Trackers[h.local])
+		}
+		st.Queries = append(st.Queries, qs)
+	}
+	return st
+}
+
+// Close drains the session: execution continues until every admitted query
+// has received its full result set, streams close, the report finalizes,
+// and the executor exits. New submissions are rejected from the moment
+// Close is called. Close blocks until the drain completes and is safe to
+// call more than once.
+func (s *Session) Close() error {
+	_ = s.do(func() {
+		s.draining = true
+		if !s.started {
+			_ = s.start() // flush queued queries through the batch path
+		}
+	})
+	<-s.closed
+	return nil
+}
+
+// Wait blocks until every currently admitted query has finished, without
+// closing the session (a later Submit revives execution). It starts
+// execution if queued queries are pending.
+func (s *Session) Wait() error {
+	if err := s.Start(); err != nil {
+		return err
+	}
+	ch := make(chan struct{})
+	derr := s.do(func() {
+		if s.open() == 0 {
+			close(ch)
+			return
+		}
+		s.waiters = append(s.waiters, ch)
+	})
+	if derr != nil {
+		return derr
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-s.closed:
+		return nil
+	}
+}
+
+// Report exposes the session's execution report. Before Close completes
+// the report is live and owned by the executor — call only after Close (or
+// for read-only inspection in tests that know the executor is idle).
+func (s *Session) Report() *run.Report {
+	var rep *run.Report
+	if err := s.do(func() { rep = s.rep }); err != nil {
+		return s.rep
+	}
+	return rep
+}

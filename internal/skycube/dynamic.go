@@ -1,0 +1,77 @@
+package skycube
+
+import (
+	"fmt"
+
+	"caqe/internal/preference"
+)
+
+// AddDynamicQuery extends a live shared skyline with one more query — the
+// skycube half of mid-run query admission. The new query gets a dedicated
+// window node over its full preference, appended after the cuboid's nodes.
+//
+// The dynamic node deliberately takes no part in the min-max cuboid's
+// comparison sharing: it has no children (every insert pays its full
+// windowed SFS scan there) and no existing node adopts it as a child. The
+// child-protection proof of insertAt requires that two interacting points
+// were already compared at a shared child node, which only holds along the
+// lattice links established when the plan was built — linking a late node
+// into them could skip comparisons that never happened. Forgoing sharing
+// for late arrivals is the admission cost; correctness is untouched.
+//
+// The caller must assign query indices densely: the new query's index is
+// the returned value, always the current query count. Subsequent Insert
+// calls whose lineage carries the new bit populate the node; existing
+// points are seeded one at a time with InsertForQuery.
+func (s *SharedSkyline) AddDynamicQuery(pref preference.Subspace) (int, error) {
+	qi := len(s.prefSN)
+	if qi >= 64 {
+		return -1, fmt.Errorf("skycube: query %d exceeds the 64-query limit", qi)
+	}
+	if len(pref) == 0 {
+		return -1, fmt.Errorf("skycube: dynamic query with empty preference")
+	}
+	sn := &sharedNode{
+		idx:    len(s.nodes),
+		sub:    append(preference.Subspace(nil), pref...),
+		kern:   preference.NewKernel(pref),
+		qserve: QSet(0).Add(qi),
+		window: make([]*sharedEntry, 0, windowPresize),
+	}
+	s.nodes = append(s.nodes, sn)
+	s.prefSN = append(s.prefSN, sn)
+	// The payload-indexed protection masks are bitmasks over node indices;
+	// past 64 nodes every protection test falls back to the (equivalent)
+	// child-member scan.
+	if len(s.nodes) > 64 {
+		s.useMasks = false
+	}
+	if s.clock != nil {
+		s.clock.CountCuboidSubspace(1)
+	}
+	return qi, nil
+}
+
+// InsertForQuery seeds one already-inserted point into the dedicated node
+// of a dynamically added query, reading its coordinates back from the
+// shared arena. It reports whether the point is a skyline candidate for
+// the query after the insert (false if dominated by previously seeded
+// points — and seeding may in turn evict earlier seeds). Comparisons are
+// counted: admission performs real work on the virtual clock.
+func (s *SharedSkyline) InsertForQuery(payload, qi int) bool {
+	sn := s.prefSN[qi]
+	if sn.memberAt(payload) != nil {
+		return sn.memberAt(payload).alive.Has(qi)
+	}
+	vals := s.PointVals(payload)
+	if vals == nil {
+		return false
+	}
+	s.insertAt(sn, payload, vals, QSet(0).Add(qi))
+	e := sn.memberAt(payload)
+	return e != nil && e.alive.Has(qi)
+}
+
+// NumQueries returns the number of queries the shared skyline currently
+// serves, including dynamically added ones.
+func (s *SharedSkyline) NumQueries() int { return len(s.prefSN) }

@@ -195,9 +195,10 @@ func (s *SharedSkyline) Insert(payload int, vals []float64, lineage QSet) QSet {
 		}
 		s.insertAt(sn, payload, vals, relevant)
 	}
-	// Candidacy is read from the full-preference node of each query.
+	// Candidacy is read from the full-preference node of each query
+	// (prefSN covers the cuboid's queries plus any added dynamically).
 	var out QSet
-	for i := 0; i < s.cuboid.NumQueries(); i++ {
+	for i := 0; i < len(s.prefSN); i++ {
 		if !lineage.Has(i) {
 			continue
 		}

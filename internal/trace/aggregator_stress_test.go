@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"caqe/internal/contract"
+)
+
+// TestAggregatorConcurrentStress hammers one Aggregator from concurrent
+// writers (emit and feedback events) and readers (Snapshot, Runs,
+// Timeline) at once. The caqe-serve daemon reads live statistics from an
+// aggregator attached to a running session, so the aggregator must be
+// safe — and consistent — under exactly this interleaving. Run with -race.
+func TestAggregatorConcurrentStress(t *testing.T) {
+	const (
+		writers = 4
+		events  = 500
+	)
+	agg := NewAggregator([]contract.Contract{contract.C3(10), contract.C2()}, []int{200, 200})
+
+	var seq int64
+	var writersWG, readersWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: continuously snapshot while the writers stream events.
+	for r := 0; r < 3; r++ {
+		readersWG.Add(1)
+		go func() {
+			defer readersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := agg.Snapshot()
+				for _, d := range snap.Delivered {
+					if d < 0 {
+						t.Error("negative delivery count")
+						return
+					}
+				}
+				_ = agg.Runs()
+				_ = agg.Timeline(0)
+				_ = agg.Timeline(1)
+			}
+		}()
+	}
+
+	// Writers: no start/end brackets, so everything lands in one implicit
+	// run and the final totals are exact regardless of interleaving.
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(w int) {
+			defer writersWG.Done()
+			for i := 0; i < events; i++ {
+				ev := New(KindEmit)
+				ev.Seq = atomic.AddInt64(&seq, 1)
+				ev.Query = w % 2
+				ev.Count = 1
+				ev.T = float64(i)
+				ev.TEnd = float64(i)
+				agg.Trace(ev)
+				if i%50 == 0 {
+					fb := New(KindFeedback)
+					fb.Seq = atomic.AddInt64(&seq, 1)
+					fb.Weights = []float64{1, 2}
+					agg.Trace(fb)
+				}
+			}
+		}(w)
+	}
+
+	writersWG.Wait()
+	close(stop)
+	readersWG.Wait()
+
+	snap := agg.Snapshot()
+	var total int64
+	for _, d := range snap.Delivered {
+		total += d
+	}
+	if want := int64(writers * events); total != want {
+		t.Fatalf("delivered %d events, want %d", total, want)
+	}
+	for qi := 0; qi < 2; qi++ {
+		tl := agg.Timeline(qi)
+		if len(tl) == 0 {
+			t.Errorf("query %d: empty satisfaction timeline", qi)
+		}
+	}
+	if ev := snap.Events[KindEmit]; ev != int64(writers*events) {
+		t.Errorf("emit event count %d, want %d", ev, writers*events)
+	}
+}

@@ -14,6 +14,12 @@ import (
 	"caqe/internal/skycube"
 )
 
+// MaxQueries is the hard cap on the number of queries one workload (or one
+// online session) can hold: query sets are represented as 64-bit masks
+// (skycube.QSet) throughout the engine. It doubles as the upper bound on a
+// server's concurrent-admission cap — far above the paper's |S_Q| ≤ 11.
+const MaxQueries = 64
+
 // Priority bands of §7.1.
 const (
 	PriorityHighMin   = 0.7
@@ -56,8 +62,8 @@ func (w *Workload) Validate() error {
 	if len(w.Queries) == 0 {
 		return fmt.Errorf("workload: no queries")
 	}
-	if len(w.Queries) > 64 {
-		return fmt.Errorf("workload: %d queries exceeds the 64-query limit", len(w.Queries))
+	if len(w.Queries) > MaxQueries {
+		return fmt.Errorf("workload: %d queries exceeds the %d-query limit", len(w.Queries), MaxQueries)
 	}
 	if len(w.JoinConds) == 0 {
 		return fmt.Errorf("workload: no join conditions")

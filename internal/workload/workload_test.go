@@ -52,15 +52,22 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
-func TestValidateRejectsTooManyQueries(t *testing.T) {
+func TestValidateAdmissionCapBoundary(t *testing.T) {
+	// The session subsystem admits queries one at a time up to MaxQueries
+	// (QSet is a 64-bit mask), so the boundary itself must be exact: a
+	// workload of exactly MaxQueries validates, one more does not.
 	w := validWorkload()
 	q := w.Queries[0]
 	w.Queries = nil
-	for i := 0; i < 65; i++ {
+	for i := 0; i < MaxQueries; i++ {
 		w.Queries = append(w.Queries, q)
 	}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("exactly MaxQueries queries rejected: %v", err)
+	}
+	w.Queries = append(w.Queries, q)
 	if err := w.Validate(); err == nil {
-		t.Error("65 queries accepted")
+		t.Errorf("%d queries accepted past the %d-query cap", len(w.Queries), MaxQueries)
 	}
 }
 

@@ -178,6 +178,7 @@ func TestDeprecatedEntryPointsEquivalent(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	//lint:ignore SA1019 this test pins the deprecated wrappers to the new API
 	oldTot, err := caqe.RunWithTotals(w, r, tt, caqe.Options{}, totals)
 	if err != nil {
 		t.Fatal(err)
@@ -189,6 +190,7 @@ func TestDeprecatedEntryPointsEquivalent(t *testing.T) {
 	requireIdenticalReports(t, oldTot, newTot)
 
 	seen := 0
+	//lint:ignore SA1019 this test pins the deprecated wrappers to the new API
 	oldProg, err := caqe.RunProgressive(w, r, tt, caqe.Options{}, totals, func(caqe.Emission) { seen++ })
 	if err != nil {
 		t.Fatal(err)
@@ -202,6 +204,7 @@ func TestDeprecatedEntryPointsEquivalent(t *testing.T) {
 		t.Fatalf("progressive hook saw %d of %d emissions", seen, total)
 	}
 
+	//lint:ignore SA1019 this test pins the deprecated wrappers to the new API
 	oldStrat, err := caqe.RunStrategyWithWorkers("S-JFSL", w, r, tt, totals, 2)
 	if err != nil {
 		t.Fatal(err)
