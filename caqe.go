@@ -411,17 +411,38 @@ type (
 	SessionHandle = session.Handle
 	SessionStats  = session.Stats
 	SessionQuery  = session.QueryStats
+	// SessionBackpressure bounds per-handle delivery buffers; see
+	// SessionConfig.Backpressure and the delivery policies below.
+	SessionBackpressure = session.Backpressure
+	// SessionDeliveryPolicy selects the over-high-water behavior of a
+	// handle's delivery buffer.
+	SessionDeliveryPolicy = session.DeliveryPolicy
+	// SessionStreamEvent is one item of SessionHandle.Events: an emission,
+	// or a lag notice when the consumer fell behind.
+	SessionStreamEvent = session.StreamEvent
+	// SessionStreamStats snapshots one handle's delivery pipeline.
+	SessionStreamStats = session.StreamStats
+	// SessionDeliveryStats aggregates delivery health across a session.
+	SessionDeliveryStats = session.DeliveryStats
+)
+
+// Delivery policies for SessionBackpressure: keep streaming with bounded
+// memory and lag notices, or sever streams whose consumers stall.
+const (
+	BlockExecutorNever = session.PolicyBlockExecutorNever
+	DisconnectSlow     = session.PolicyDisconnectSlow
 )
 
 // Typed session errors, for mapping to transport-level responses (an HTTP
 // server returns 429 for ErrAdmissionFull, 409 for ErrSessionFull, 503 for
-// ErrDraining).
+// ErrDraining and ErrSessionOverloaded).
 var (
-	ErrSessionClosed   = session.ErrClosed
-	ErrSessionDraining = session.ErrDraining
-	ErrAdmissionFull   = session.ErrAdmissionFull
-	ErrSessionFull     = session.ErrSessionFull
-	ErrUnknownQuery    = session.ErrUnknownQuery
+	ErrSessionClosed     = session.ErrClosed
+	ErrSessionDraining   = session.ErrDraining
+	ErrAdmissionFull     = session.ErrAdmissionFull
+	ErrSessionFull       = session.ErrSessionFull
+	ErrUnknownQuery      = session.ErrUnknownQuery
+	ErrSessionOverloaded = session.ErrOverloaded
 )
 
 // OpenSession starts an online session over loaded relations. Queries

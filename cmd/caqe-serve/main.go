@@ -1,13 +1,16 @@
 // Command caqe-serve exposes an online CAQE session over HTTP: clients
 // submit decision-support queries with contracts against a loaded dataset,
 // stream each query's guaranteed-final results as they become available,
-// cancel queries, and inspect live session statistics. It is the serving
-// counterpart of the batch caqe command.
+// cancel queries, and inspect live session statistics and metrics. It is
+// the serving counterpart of the batch caqe command.
 //
 // Usage:
 //
 //	caqe-serve [-addr :8734] [-n rows] [-dims d] [-dist independent|correlated|anticorrelated]
 //	           [-sel σ] [-keys k] [-seed s] [-max-concurrent m] [-workers w] [-cells c]
+//	           [-max-buffered n] [-buffer-policy block-executor-never|disconnect-slow]
+//	           [-max-buffered-total n] [-stream-write-timeout d]
+//	           [-read-header-timeout d] [-idle-timeout d]
 //
 // Endpoints:
 //
@@ -17,13 +20,19 @@
 //	GET    /queries/{id}/results stream guaranteed-final results (NDJSON, or
 //	                             SSE with Accept: text/event-stream)
 //	GET    /stats                live session statistics
+//	GET    /metrics              Prometheus text exposition
 //	GET    /healthz              liveness (503 while draining)
 //
 // Admission is bounded: beyond -max-concurrent open queries a submission
-// is rejected with 429, and past the engine's lifetime limit of 64 query
-// slots with 409. On SIGTERM/SIGINT the server stops admitting, drains
-// every running query to its full result set (streams receive their tails
-// and close), then shuts down.
+// is rejected with 429, past the engine's lifetime limit of 64 query
+// slots with 409, and — when consumers are not draining their streams and
+// aggregate buffered emissions sit above -max-buffered-total — with 503.
+// Each query's delivery buffer is bounded by -max-buffered; past it the
+// stream either coalesces its oldest undelivered results behind a lag
+// notice (block-executor-never) or is severed while the query keeps
+// running (disconnect-slow). On SIGTERM/SIGINT the server stops admitting,
+// drains every running query to its full result set (streams receive
+// their tails and close), then shuts down.
 package main
 
 import (
@@ -38,6 +47,22 @@ import (
 	"time"
 )
 
+// newHTTPServer constructs the hardened listener-facing server: header
+// reads, idle keep-alive connections and header size are all bounded so a
+// connection that never completes its request line, or sits idle between
+// requests, is reclaimed instead of held forever. WriteTimeout stays zero
+// deliberately — result streams are long-lived — and each stream write is
+// bounded by a per-write deadline inside handleResults instead.
+func newHTTPServer(addr string, h http.Handler, readHeaderTimeout, idleTimeout time.Duration) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 func main() {
 	var (
 		addr    = flag.String("addr", ":8734", "listen address")
@@ -50,23 +75,33 @@ func main() {
 		maxConc = flag.Int("max-concurrent", 16, "maximum simultaneously open queries (0 = engine limit)")
 		workers = flag.Int("workers", 0, "join worker pool size (default all cores)")
 		cells   = flag.Int("cells", 0, "quad-tree leaf cells per relation (default engine choice)")
+
+		maxBuffered = flag.Int("max-buffered", 4096, "per-query delivery-buffer high-water mark in emissions (0 = unbounded)")
+		bufPolicy   = flag.String("buffer-policy", "block-executor-never", "past the high-water mark: block-executor-never (coalesce + lag notice) or disconnect-slow (sever the stream)")
+		maxBufTotal = flag.Int("max-buffered-total", 65536, "shed new submissions with 503 while aggregate buffered emissions exceed this (0 = never shed)")
+		streamWrite = flag.Duration("stream-write-timeout", 30*time.Second, "deadline for each individual result-stream write (0 = none)")
+
+		readHeader = flag.Duration("read-header-timeout", 5*time.Second, "deadline for reading a request's headers")
+		idle       = flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
 	)
 	flag.Parse()
 
 	srv, err := newServer(serverConfig{
 		N: *n, Dims: *dims, Dist: *dist, Sel: *sel, Keys: *keys, Seed: *seed,
 		MaxConcurrent: *maxConc, Workers: *workers, TargetCells: *cells,
+		MaxBuffered: *maxBuffered, BufferPolicy: *bufPolicy,
+		MaxBufferedTotal: *maxBufTotal, StreamWriteTimeout: *streamWrite,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "caqe-serve: %v\n", err)
 		os.Exit(1)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.routes()}
+	hs := newHTTPServer(*addr, srv.routes(), *readHeader, *idle)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("caqe-serve: listening on %s (%d rows, d=%d, %d join conditions)",
-		*addr, *n, *dims, *keys)
+	log.Printf("caqe-serve: listening on %s (%d rows, d=%d, %d join conditions, buffer %d/%s)",
+		*addr, *n, *dims, *keys, *maxBuffered, *bufPolicy)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)

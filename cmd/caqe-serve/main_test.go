@@ -90,8 +90,21 @@ func submit(t *testing.T, ts *httptest.Server, qr queryRequest) (queryResponse, 
 	return out, resp.StatusCode
 }
 
-// streamResults reads a query's NDJSON result stream to completion.
-func streamResults(t *testing.T, ts *httptest.Server, id int) []run.Emission {
+// controlProbe distinguishes the NDJSON control records (lag notices and
+// the final done record) from result emissions: control keys are
+// lowercase, emission fields capitalized, so they cannot collide.
+type controlProbe struct {
+	Done      *bool  `json:"done"`
+	Lag       *int64 `json:"lag"`
+	State     string `json:"state"`
+	Coalesced int64  `json:"coalesced"`
+	Reason    string `json:"reason"`
+}
+
+// streamResults reads a query's NDJSON result stream to completion,
+// returning its emissions plus any lag notices and the terminal done
+// record. Every stream must end with exactly one done record.
+func streamResults(t *testing.T, ts *httptest.Server, id int) ([]run.Emission, []int64, controlProbe) {
 	t.Helper()
 	resp, err := http.Get(fmt.Sprintf("%s/queries/%d/results", ts.URL, id))
 	if err != nil {
@@ -104,22 +117,44 @@ func streamResults(t *testing.T, ts *httptest.Server, id int) []run.Emission {
 	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
 		t.Errorf("content type %q", ct)
 	}
-	var got []run.Emission
+	var (
+		got  []run.Emission
+		lags []int64
+		end  controlProbe
+		ends int
+	)
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
 			continue
 		}
-		var e run.Emission
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+		var cp controlProbe
+		if err := json.Unmarshal(sc.Bytes(), &cp); err != nil {
 			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
 		}
-		got = append(got, e)
+		switch {
+		case cp.Done != nil:
+			end, ends = cp, ends+1
+		case cp.Lag != nil:
+			lags = append(lags, *cp.Lag)
+		default:
+			if ends > 0 {
+				t.Fatalf("emission after done record: %q", sc.Text())
+			}
+			var e run.Emission
+			if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+				t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+			}
+			got = append(got, e)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	return got
+	if ends != 1 {
+		t.Fatalf("query %d stream: saw %d done records, want exactly 1", id, ends)
+	}
+	return got, lags, end
 }
 
 func keysOf(es []run.Emission) []run.ResultKey {
@@ -159,7 +194,14 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 
 	for qi, id := range ids {
-		got := keysOf(streamResults(t, ts, id))
+		es, lags, end := streamResults(t, ts, id)
+		if len(lags) != 0 {
+			t.Errorf("query %d: unexpected lag notices %v with default unbounded buffer", qi, lags)
+		}
+		if end.Done == nil || !*end.Done || end.State != "done" {
+			t.Errorf("query %d: terminal record %+v, want done=true state=done", qi, end)
+		}
+		got := keysOf(es)
 		want := ref.ResultSet(qi)
 		if len(want) == 0 && len(got) == 0 {
 			continue

@@ -1,0 +1,256 @@
+package main
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"caqe/internal/metrics"
+	"caqe/internal/trace"
+)
+
+// serveMetrics aggregates the serving-side counters exposed on /metrics:
+// HTTP traffic and latency, stream delivery failures, lag notices actually
+// written to clients, and shed submissions. Session- and engine-level
+// series (buffered emissions, per-state query counts, operation counters)
+// are read live from the session at scrape time instead of being mirrored
+// here.
+type serveMetrics struct {
+	mu       sync.Mutex
+	requests map[requestKey]int64
+
+	latency      *metrics.Histogram
+	encodeErrors atomic.Int64 // stream writes that failed mid-delivery
+	lagNotices   atomic.Int64 // lag records written to client streams
+	loadShed     atomic.Int64 // submissions shed with 503 (global high water)
+}
+
+type requestKey struct {
+	route string
+	code  int
+}
+
+func newServeMetrics() *serveMetrics {
+	return &serveMetrics{
+		requests: make(map[requestKey]int64),
+		latency: metrics.NewHistogram(
+			0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10),
+	}
+}
+
+func (m *serveMetrics) observeRequest(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	m.requests[requestKey{route, code}]++
+	m.mu.Unlock()
+	m.latency.Observe(d.Seconds())
+}
+
+// families renders the server-side metric families in a deterministic
+// order.
+func (m *serveMetrics) families() []metrics.PromFamily {
+	m.mu.Lock()
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	req := metrics.PromFamily{
+		Name: "caqe_http_requests_total",
+		Help: "HTTP requests served, by route pattern and status code.",
+		Kind: metrics.PromCounter,
+	}
+	for _, k := range keys {
+		req.Samples = append(req.Samples, metrics.PromSample{
+			Labels: []metrics.PromLabel{
+				{Name: "route", Value: k.route},
+				{Name: "code", Value: strconv.Itoa(k.code)},
+			},
+			Value: float64(m.requests[k]),
+		})
+	}
+	m.mu.Unlock()
+
+	return []metrics.PromFamily{
+		req,
+		m.latency.Family("caqe_http_request_duration_seconds",
+			"HTTP request latency (streaming requests measure the full stream)."),
+		counterFamily("caqe_stream_encode_errors_total",
+			"Result-stream writes that failed mid-delivery (client gone or write deadline hit).",
+			m.encodeErrors.Load()),
+		counterFamily("caqe_stream_lag_notices_total",
+			"Lag notices written to client result streams.",
+			m.lagNotices.Load()),
+		counterFamily("caqe_load_shed_total",
+			"Submissions rejected with 503 because aggregate buffered emissions crossed the global high-water mark.",
+			m.loadShed.Load()),
+	}
+}
+
+func counterFamily(name, help string, v int64) metrics.PromFamily {
+	return metrics.PromFamily{
+		Name: name, Help: help, Kind: metrics.PromCounter,
+		Samples: []metrics.PromSample{{Value: float64(v)}},
+	}
+}
+
+func gaugeFamily(name, help string, v float64) metrics.PromFamily {
+	return metrics.PromFamily{
+		Name: name, Help: help, Kind: metrics.PromGauge,
+		Samples: []metrics.PromSample{{Value: v}},
+	}
+}
+
+// sessionFamilies renders the session, delivery and engine series from a
+// live stats snapshot. ok is false once the session has fully closed, in
+// which case only liveness is reported.
+func (s *server) sessionFamilies() []metrics.PromFamily {
+	st, err := s.sess.Stats()
+	if err != nil {
+		return []metrics.PromFamily{gaugeFamily("caqe_sessions_open",
+			"Whether the serving session is open (0 after final drain).", 0)}
+	}
+	fams := []metrics.PromFamily{
+		gaugeFamily("caqe_sessions_open",
+			"Whether the serving session is open (0 after final drain).", 1),
+		gaugeFamily("caqe_session_draining",
+			"Whether the session is draining for shutdown.", boolGauge(st.Draining)),
+		gaugeFamily("caqe_session_virtual_seconds",
+			"Virtual execution time of the session.", st.Now),
+		gaugeFamily("caqe_session_open_queries",
+			"Queries admitted and not yet finished.", float64(st.Open)),
+		counterFamily("caqe_session_queries_submitted_total",
+			"Queries submitted over the session lifetime.", int64(st.Submitted)),
+	}
+
+	// Per-state query counts; known states render even at zero so scrapes
+	// see stable series.
+	states := map[string]int{"queued": 0, "running": 0, "lagging": 0, "done": 0, "cancelled": 0}
+	for _, q := range st.Queries {
+		states[q.State]++
+	}
+	stateNames := make([]string, 0, len(states))
+	for name := range states {
+		stateNames = append(stateNames, name)
+	}
+	sort.Strings(stateNames)
+	byState := metrics.PromFamily{
+		Name: "caqe_session_queries",
+		Help: "Queries by lifecycle state (lagging is the over-high-water sub-state of running).",
+		Kind: metrics.PromGauge,
+	}
+	for _, name := range stateNames {
+		byState.Samples = append(byState.Samples, metrics.PromSample{
+			Labels: []metrics.PromLabel{{Name: "state", Value: name}},
+			Value:  float64(states[name]),
+		})
+	}
+	fams = append(fams, byState)
+
+	fams = append(fams,
+		gaugeFamily("caqe_stream_buffered_emissions",
+			"Emissions currently buffered between the executor and stream consumers, all queries.",
+			float64(st.Delivery.Buffered)),
+		gaugeFamily("caqe_stream_buffer_high_water",
+			"Maximum per-query delivery-buffer occupancy observed.",
+			float64(st.Delivery.HighWater)),
+		counterFamily("caqe_stream_lag_events_total",
+			"Transitions of a query stream into the lagging state.", st.Delivery.LagEvents),
+		counterFamily("caqe_stream_coalesced_total",
+			"Emissions coalesced out of streams (dropped from delivery, never from the report).",
+			st.Delivery.Coalesced),
+		counterFamily("caqe_stream_disconnects_total",
+			"Streams severed by the disconnect-slow policy.", st.Delivery.Disconnects),
+		counterFamily("caqe_stream_abandons_total",
+			"Streams abandoned by their consumer (client disconnect).", st.Delivery.Abandons),
+	)
+
+	delivered := metrics.PromFamily{
+		Name: "caqe_query_delivered",
+		Help: "Results delivered per query.",
+		Kind: metrics.PromGauge,
+	}
+	buffered := metrics.PromFamily{
+		Name: "caqe_query_buffered_emissions",
+		Help: "Emissions awaiting the consumer, per query.",
+		Kind: metrics.PromGauge,
+	}
+	satisfaction := metrics.PromFamily{
+		Name: "caqe_query_satisfaction",
+		Help: "Contract satisfaction so far, per query.",
+		Kind: metrics.PromGauge,
+	}
+	for _, q := range st.Queries {
+		labels := []metrics.PromLabel{{Name: "query", Value: strconv.Itoa(q.ID)}}
+		delivered.Samples = append(delivered.Samples, metrics.PromSample{Labels: labels, Value: float64(q.Delivered)})
+		buffered.Samples = append(buffered.Samples, metrics.PromSample{Labels: labels, Value: float64(q.Buffered)})
+		satisfaction.Samples = append(satisfaction.Samples, metrics.PromSample{Labels: labels, Value: q.Satisfaction})
+	}
+	fams = append(fams, delivered, buffered, satisfaction)
+
+	ops := metrics.PromFamily{
+		Name: "caqe_engine_ops_total",
+		Help: "Elementary engine operations (the virtual clock's cost drivers).",
+		Kind: metrics.PromCounter,
+	}
+	for _, op := range []struct {
+		name string
+		v    int64
+	}{
+		{"join_probes", st.Counters.JoinProbes},
+		{"join_results", st.Counters.JoinResults},
+		{"skyline_cmps", st.Counters.SkylineCmps},
+		{"cell_ops", st.Counters.CellOps},
+		{"tuples_emitted", st.Counters.TuplesEmitted},
+		{"regions_done", st.Counters.RegionsDone},
+		{"regions_pruned", st.Counters.RegionsPruned},
+		{"cuboid_subspaces", st.Counters.CuboidSubspace},
+	} {
+		ops.Samples = append(ops.Samples, metrics.PromSample{
+			Labels: []metrics.PromLabel{{Name: "op", Value: op.name}},
+			Value:  float64(op.v),
+		})
+	}
+	fams = append(fams, ops)
+
+	if s.agg != nil {
+		snap := s.agg.Snapshot()
+		events := metrics.PromFamily{
+			Name: "caqe_trace_events_total",
+			Help: "Structured trace events observed in the current run, by kind.",
+			Kind: metrics.PromCounter,
+		}
+		for _, kind := range trace.Kinds() {
+			events.Samples = append(events.Samples, metrics.PromSample{
+				Labels: []metrics.PromLabel{{Name: "kind", Value: string(kind)}},
+				Value:  float64(snap.Events[kind]),
+			})
+		}
+		fams = append(fams, events)
+	}
+	return fams
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// handleMetrics serves the Prometheus text exposition: serving-side
+// families first, then the live session snapshot.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	fams := append(s.sm.families(), s.sessionFamilies()...)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := metrics.WriteProm(w, fams); err != nil {
+		s.logger.Printf("caqe-serve: metrics exposition: %v", err)
+	}
+}

@@ -4,14 +4,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"caqe"
+	"caqe/internal/trace"
 )
 
-// serverConfig describes the served dataset and admission limits.
+// serverConfig describes the served dataset, admission limits and
+// delivery-side backpressure.
 type serverConfig struct {
 	N, Dims, Keys        int
 	Dist                 string
@@ -19,6 +24,23 @@ type serverConfig struct {
 	Seed                 int64
 	MaxConcurrent        int
 	Workers, TargetCells int
+
+	// MaxBuffered is the per-query delivery-buffer high-water mark
+	// (0 = unbounded); BufferPolicy selects what happens past it
+	// ("block-executor-never" or "disconnect-slow", empty = the former).
+	MaxBuffered  int
+	BufferPolicy string
+	// MaxBufferedTotal sheds new submissions with 503 while the aggregate
+	// buffered-emission count is at or above it (0 = no shedding).
+	MaxBufferedTotal int
+	// StreamWriteTimeout bounds each individual write on a result stream;
+	// a stalled client fails the write and the stream is abandoned
+	// (0 = no per-write deadline).
+	StreamWriteTimeout time.Duration
+
+	// Logger receives delivery-failure and lifecycle logs (default
+	// log.Default()).
+	Logger *log.Logger
 
 	// noAutoStart keeps submitted queries queued instead of starting
 	// execution on first admission; tests use it to pin down admission-cap
@@ -28,12 +50,17 @@ type serverConfig struct {
 
 // server wires one online CAQE session to HTTP handlers. All shared state
 // lives in the session, which is safe for concurrent use; the server keeps
-// only the immutable query vocabulary.
+// only the immutable query vocabulary and its metrics registry.
 type server struct {
 	sess      *caqe.Session
 	joinConds []caqe.EquiJoin
 	outDims   []caqe.MapFunc
 	autoStart bool
+
+	logger       *log.Logger
+	sm           *serveMetrics
+	agg          *trace.Aggregator
+	writeTimeout time.Duration
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -71,17 +98,34 @@ func newServer(cfg serverConfig) (*server, error) {
 		outDims[d] = caqe.SumDim(fmt.Sprintf("d%d", d), d)
 	}
 
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.Default()
+	}
+	// The aggregator feeds /metrics with live trace-event counts; tracing
+	// performs no counted work, so serving with it attached stays
+	// byte-identical to an untraced run.
+	agg := trace.NewAggregator(nil, nil)
 	sess, err := caqe.OpenSession(caqe.SessionConfig{
 		R: r, T: t,
 		JoinConds:     joinConds,
 		OutDims:       outDims,
 		Engine:        caqe.Options{Workers: cfg.Workers, TargetCells: cfg.TargetCells},
 		MaxConcurrent: cfg.MaxConcurrent,
+		Tracer:        agg,
+		Backpressure: caqe.SessionBackpressure{
+			HighWater: cfg.MaxBuffered,
+			Policy:    caqe.SessionDeliveryPolicy(cfg.BufferPolicy),
+		},
+		GlobalHighWater: cfg.MaxBufferedTotal,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &server{sess: sess, joinConds: joinConds, outDims: outDims, autoStart: !cfg.noAutoStart}, nil
+	return &server{
+		sess: sess, joinConds: joinConds, outDims: outDims, autoStart: !cfg.noAutoStart,
+		logger: logger, sm: newServeMetrics(), agg: agg, writeTimeout: cfg.StreamWriteTimeout,
+	}, nil
 }
 
 // drain closes the session, running every open query to completion; result
@@ -90,14 +134,48 @@ func (s *server) drain() { _ = s.sess.Close() }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /queries", s.handleSubmit)
-	mux.HandleFunc("GET /queries/{id}", s.handleStatus)
-	mux.HandleFunc("DELETE /queries/{id}", s.handleCancel)
-	mux.HandleFunc("GET /queries/{id}/results", s.handleResults)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.route(mux, "POST /queries", s.handleSubmit)
+	s.route(mux, "GET /queries/{id}", s.handleStatus)
+	s.route(mux, "DELETE /queries/{id}", s.handleCancel)
+	s.route(mux, "GET /queries/{id}/results", s.handleResults)
+	s.route(mux, "GET /stats", s.handleStats)
+	s.route(mux, "GET /healthz", s.handleHealthz)
+	s.route(mux, "GET /metrics", s.handleMetrics)
 	return mux
 }
+
+// route registers a handler wrapped with request instrumentation: status
+// code and latency per route pattern. The pattern is passed explicitly so
+// the label set stays bounded (no per-id cardinality).
+func (s *server) route(mux *http.ServeMux, pattern string, fn http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r)
+		s.sm.observeRequest(pattern, sw.code, time.Since(start))
+	})
+}
+
+// statusWriter records the response status for instrumentation while
+// keeping the streaming capabilities (Flush, per-request deadlines via
+// Unwrap) of the underlying writer available.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // contractRequest selects and parameterizes a contract class (Table 2).
 type contractRequest struct {
@@ -175,6 +253,10 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	h, err := s.sess.Submit(q, req.EstTotal)
 	if err != nil {
+		if errors.Is(err, caqe.ErrSessionOverloaded) {
+			s.sm.loadShed.Add(1)
+			s.logger.Printf("caqe-serve: shedding submission %q: %v", req.Name, err)
+		}
 		httpError(w, submitStatus(err), err)
 		return
 	}
@@ -196,7 +278,8 @@ func submitStatus(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, caqe.ErrSessionFull):
 		return http.StatusConflict
-	case errors.Is(err, caqe.ErrSessionDraining), errors.Is(err, caqe.ErrSessionClosed):
+	case errors.Is(err, caqe.ErrSessionDraining), errors.Is(err, caqe.ErrSessionClosed),
+		errors.Is(err, caqe.ErrSessionOverloaded):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
@@ -243,11 +326,34 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// streamEnd is the terminal record of a result stream. Done reports
+// whether the stream carried the query to its terminal state — a client
+// that never sees a streamEnd record knows the connection was severed
+// mid-run, and one that sees Done false knows the server cut a lagging
+// stream loose (Reason "slow-consumer") while the query kept running.
+type streamEnd struct {
+	Done      bool   `json:"done"`
+	State     string `json:"state"`
+	Coalesced int64  `json:"coalesced,omitempty"` // emissions dropped from this stream
+	Reason    string `json:"reason,omitempty"`
+}
+
+// lagRecord notifies the stream that Lag emissions were coalesced away
+// because the client fell behind the delivery high-water mark.
+type lagRecord struct {
+	Lag int64 `json:"lag"`
+}
+
 // handleResults streams a query's guaranteed-final results until its
 // result set is complete (or it is cancelled). The default framing is
-// NDJSON — one Emission per line; clients sending Accept: text/event-stream
-// get SSE frames instead. Each result is flushed as it becomes final, so
-// the stream is as progressive as the engine's emission schedule.
+// NDJSON — one Emission per line, interleaved {"lag":n} notices when the
+// client lags, and a final {"done":...,"state":...} record; clients
+// sending Accept: text/event-stream get SSE frames instead (data, lag and
+// done events). Each result is flushed as it becomes final, so the stream
+// is as progressive as the engine's emission schedule. Every write carries
+// a deadline: a client that stalls past it fails the write, which is
+// logged, counted in the metrics, and abandons the stream without touching
+// the query.
 func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 	h, ok := s.handle(w, r)
 	if !ok {
@@ -262,33 +368,56 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	// The server's WriteTimeout is zero so streams can live arbitrarily
+	// long; instead each individual write gets its own deadline. Clear it
+	// on exit so a keep-alive connection isn't poisoned for the next
+	// request. Both calls are best-effort: writers that don't support
+	// deadlines (test recorders) just proceed without them.
+	defer rc.SetWriteDeadline(time.Time{})
 
 	enc := json.NewEncoder(w)
 	ctx := r.Context()
+	// write runs one framed record through the per-write deadline, logging
+	// and counting a failure instead of swallowing it, and abandoning the
+	// stream so the pump and buffer are released immediately.
+	write := func(fn func() error) bool {
+		if s.writeTimeout > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
+		if err := fn(); err != nil {
+			s.logger.Printf("caqe-serve: query %d results stream: client write failed: %v", h.ID(), err)
+			s.sm.encodeErrors.Add(1)
+			h.Abandon()
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
 	for {
 		select {
-		case e, open := <-h.Results():
+		case ev, open := <-h.Events():
 			if !open {
-				if sse {
-					fmt.Fprintf(w, "event: done\ndata: {\"state\":%q}\n\n", h.State())
-					if flusher != nil {
-						flusher.Flush()
-					}
+				ss := h.StreamStats()
+				end := streamEnd{Done: true, State: h.State(), Coalesced: ss.Coalesced}
+				if ss.Disconnected {
+					end.Done = false
+					end.Reason = "slow-consumer"
 				}
+				write(func() error { return encodeFramed(w, enc, sse, "done", end) })
 				return
 			}
-			if sse {
-				fmt.Fprint(w, "data: ")
+			if ev.Lag > 0 {
+				s.sm.lagNotices.Add(1)
+				if !write(func() error { return encodeFramed(w, enc, sse, "lag", lagRecord{Lag: ev.Lag}) }) {
+					return
+				}
+				continue
 			}
-			if err := enc.Encode(e); err != nil {
-				h.Abandon()
+			if !write(func() error { return encodeFramed(w, enc, sse, "", ev.Emission) }) {
 				return
-			}
-			if sse {
-				fmt.Fprint(w, "\n")
-			}
-			if flusher != nil {
-				flusher.Flush()
 			}
 		case <-ctx.Done():
 			// Client went away; free the pump but keep the query running.
@@ -296,6 +425,31 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// encodeFramed writes one record in the stream's framing: a bare JSON line
+// for NDJSON, an "event:"-prefixed frame for SSE (plain data frames carry
+// no event name).
+func encodeFramed(w io.Writer, enc *json.Encoder, sse bool, event string, v any) error {
+	if sse {
+		if event != "" {
+			if _, err := fmt.Fprintf(w, "event: %s\n", event); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprint(w, "data: "); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(v); err != nil {
+		return err
+	}
+	if sse {
+		if _, err := fmt.Fprint(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Prometheus text exposition (format version 0.0.4), stdlib only. The
+// serving daemon's /metrics endpoint renders its gauges, counters and
+// histograms through WriteProm; keeping the writer here, next to the
+// engine counters it exposes, lets both the daemon and tests share one
+// strictly-validated implementation instead of pulling in a client
+// library.
+
+// PromKind is a metric family's type in the exposition.
+type PromKind string
+
+// The family types the writer supports.
+const (
+	PromCounter   PromKind = "counter"
+	PromGauge     PromKind = "gauge"
+	PromHistogram PromKind = "histogram"
+)
+
+// PromLabel is one name="value" pair attached to a sample.
+type PromLabel struct {
+	Name, Value string
+}
+
+// PromSample is one exposition line of a family. Suffix is appended to the
+// family name — empty for plain counters and gauges, "_bucket"/"_sum"/
+// "_count" for histogram series.
+type PromSample struct {
+	Suffix string
+	Labels []PromLabel
+	Value  float64
+}
+
+// PromFamily is one metric family: HELP and TYPE header plus its samples.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Kind    PromKind
+	Samples []PromSample
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+func (f PromFamily) validate() error {
+	if !promNameRe.MatchString(f.Name) {
+		return fmt.Errorf("metrics: invalid metric name %q", f.Name)
+	}
+	switch f.Kind {
+	case PromCounter, PromGauge, PromHistogram:
+	default:
+		return fmt.Errorf("metrics: %s: invalid family kind %q", f.Name, f.Kind)
+	}
+	for _, s := range f.Samples {
+		if s.Suffix != "" && !promNameRe.MatchString(f.Name+s.Suffix) {
+			return fmt.Errorf("metrics: %s: invalid sample suffix %q", f.Name, s.Suffix)
+		}
+		for _, l := range s.Labels {
+			if !promLabelRe.MatchString(l.Name) {
+				return fmt.Errorf("metrics: %s: invalid label name %q", f.Name, l.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// escapeLabelValue applies the exposition format's label escaping rules.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// escapeHelp escapes a HELP line (backslash and newline only; quotes stay).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatPromValue renders a sample value, including the format's spellings
+// of the non-finite floats.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm renders the families as Prometheus text exposition. Families
+// are validated first — a malformed name or label aborts the write with an
+// error before any output — and rendered in the order given.
+func WriteProm(w io.Writer, fams []PromFamily) error {
+	for _, f := range fams {
+		if err := f.validate(); err != nil {
+			return err
+		}
+	}
+	var b strings.Builder
+	for _, f := range fams {
+		if f.Help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, s := range f.Samples {
+			b.WriteString(f.Name)
+			b.WriteString(s.Suffix)
+			if len(s.Labels) > 0 {
+				b.WriteByte('{')
+				for i, l := range s.Labels {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					// escapeLabelValue already applied the format's escaping;
+					// %q would double-escape it.
+					fmt.Fprintf(&b, `%s="%s"`, l.Name, escapeLabelValue(l.Value))
+				}
+				b.WriteByte('}')
+			}
+			b.WriteByte(' ')
+			b.WriteString(formatPromValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Histogram is a fixed-bucket histogram safe for concurrent observation,
+// rendering itself as one Prometheus histogram family (cumulative buckets,
+// sum and count). The zero value is unusable; construct with NewHistogram.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []int64   // per-bound counts (not cumulative), +Inf last
+	sum    float64
+	total  int64
+}
+
+// NewHistogram returns a histogram over the given ascending bucket upper
+// bounds (the implicit +Inf bucket is added automatically).
+func NewHistogram(bounds ...float64) *Histogram {
+	sorted := append([]float64(nil), bounds...)
+	sort.Float64s(sorted)
+	return &Histogram{bounds: sorted, counts: make([]int64, len(sorted)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Family renders the histogram as a Prometheus family with the given name,
+// help text and constant labels.
+func (h *Histogram) Family(name, help string, labels ...PromLabel) PromFamily {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f := PromFamily{Name: name, Help: help, Kind: PromHistogram}
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i]
+		f.Samples = append(f.Samples, PromSample{
+			Suffix: "_bucket",
+			Labels: append(append([]PromLabel(nil), labels...), PromLabel{"le", formatPromValue(bound)}),
+			Value:  float64(cum),
+		})
+	}
+	f.Samples = append(f.Samples,
+		PromSample{
+			Suffix: "_bucket",
+			Labels: append(append([]PromLabel(nil), labels...), PromLabel{"le", "+Inf"}),
+			Value:  float64(h.total),
+		},
+		PromSample{Suffix: "_sum", Labels: labels, Value: h.sum},
+		PromSample{Suffix: "_count", Labels: labels, Value: float64(h.total)},
+	)
+	return f
+}

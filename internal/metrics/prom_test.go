@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWritePromRendering(t *testing.T) {
+	var b strings.Builder
+	err := WriteProm(&b, []PromFamily{
+		{
+			Name: "caqe_up", Help: "Liveness.", Kind: PromGauge,
+			Samples: []PromSample{{Value: 1}},
+		},
+		{
+			Name: "caqe_requests_total", Help: `Requests with "quotes" and \slashes`, Kind: PromCounter,
+			Samples: []PromSample{
+				{Labels: []PromLabel{{"route", `a"b\c` + "\nd"}, {"code", "200"}}, Value: 42},
+			},
+		},
+		{
+			Name: "caqe_weird", Kind: PromGauge,
+			Samples: []PromSample{
+				{Value: math.Inf(1)}, {Suffix: "_min", Value: math.Inf(-1)},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		"# HELP caqe_up Liveness.\n# TYPE caqe_up gauge\ncaqe_up 1\n",
+		`# HELP caqe_requests_total Requests with "quotes" and \\slashes`,
+		`caqe_requests_total{route="a\"b\\c\nd",code="200"} 42`,
+		"caqe_weird +Inf\n",
+		"caqe_weird_min -Inf\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, got)
+		}
+	}
+	// A family with no Help still gets its TYPE line.
+	if !strings.Contains(got, "# TYPE caqe_weird gauge\n") {
+		t.Error("missing TYPE for help-less family")
+	}
+}
+
+func TestWritePromValidation(t *testing.T) {
+	cases := []PromFamily{
+		{Name: "bad-name", Kind: PromGauge},
+		{Name: "ok", Kind: "weird"},
+		{Name: "ok", Kind: PromGauge, Samples: []PromSample{{Suffix: "-bad"}}},
+		{Name: "ok", Kind: PromGauge, Samples: []PromSample{{Labels: []PromLabel{{"0bad", "x"}}}}},
+	}
+	for i, f := range cases {
+		var b strings.Builder
+		if err := WriteProm(&b, []PromFamily{f}); err == nil {
+			t.Errorf("case %d: invalid family %+v accepted", i, f)
+		}
+		if b.Len() != 0 {
+			t.Errorf("case %d: output written despite validation failure", i)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	f := h.Family("caqe_lat_seconds", "Latency.", PromLabel{"route", "/x"})
+	if err := (PromFamily{Name: f.Name, Kind: f.Kind, Samples: f.Samples}).validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Cumulative buckets: ≤0.1 → 1, ≤1 → 3, ≤10 → 4, +Inf → 5.
+	wantCum := []float64{1, 3, 4, 5}
+	var buckets []PromSample
+	var sum, count *PromSample
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		switch s.Suffix {
+		case "_bucket":
+			buckets = append(buckets, *s)
+		case "_sum":
+			sum = s
+		case "_count":
+			count = s
+		}
+	}
+	if len(buckets) != 4 {
+		t.Fatalf("%d bucket samples, want 4", len(buckets))
+	}
+	for i, b := range buckets {
+		if b.Value != wantCum[i] {
+			t.Errorf("bucket %d: %g, want %g", i, b.Value, wantCum[i])
+		}
+		if got := b.Labels[len(b.Labels)-1]; got.Name != "le" {
+			t.Errorf("bucket %d: last label %q, want le", i, got.Name)
+		}
+		if got := b.Labels[0]; got.Name != "route" || got.Value != "/x" {
+			t.Errorf("bucket %d: constant label %+v lost", i, got)
+		}
+	}
+	if last := buckets[3].Labels[len(buckets[3].Labels)-1].Value; last != "+Inf" {
+		t.Errorf("final bucket le=%q, want +Inf", last)
+	}
+	if sum == nil || sum.Value != 56.05 {
+		t.Errorf("sum %+v, want 56.05", sum)
+	}
+	if count == nil || count.Value != 5 {
+		t.Errorf("count %+v, want 5", count)
+	}
+}

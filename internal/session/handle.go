@@ -7,44 +7,231 @@ import (
 	"caqe/internal/workload"
 )
 
+// DeliveryPolicy selects what a handle does with new emissions once its
+// delivery buffer holds Backpressure.HighWater of them. Either way the
+// executor never blocks and the execution report is untouched —
+// backpressure acts strictly on the delivery side of the pump.
+type DeliveryPolicy string
+
+const (
+	// PolicyBlockExecutorNever (the default) keeps the stream open: past
+	// the high-water mark the handle enters the lagging state, the oldest
+	// buffered emission is coalesced away for each new one, and the stream
+	// receives a lag notice (StreamEvent.Lag) carrying the coalesced count
+	// before delivery resumes. Memory stays O(HighWater): the buffer is a
+	// flat-coordinate ring that never grows past the mark.
+	PolicyBlockExecutorNever DeliveryPolicy = "block-executor-never"
+	// PolicyDisconnectSlow severs the stream at the high-water mark: the
+	// buffer is released, the events channel closes, and the query keeps
+	// running to completion (exactly as if the consumer had gone away and
+	// Abandon had been called — but initiated by the server side).
+	PolicyDisconnectSlow DeliveryPolicy = "disconnect-slow"
+)
+
+// Backpressure bounds one handle's delivery buffer.
+type Backpressure struct {
+	// HighWater is the maximum number of emissions buffered per handle
+	// between the executor and the consumer; 0 means unbounded (the
+	// pre-backpressure semantics).
+	HighWater int
+	// Policy selects the over-the-mark behavior; empty means
+	// PolicyBlockExecutorNever.
+	Policy DeliveryPolicy
+}
+
+func (b Backpressure) policy() DeliveryPolicy {
+	if b.Policy == "" {
+		return PolicyBlockExecutorNever
+	}
+	return b.Policy
+}
+
+// StreamEvent is one item of a handle's delivery stream: an emission, or —
+// when Lag is positive — a notice that Lag emissions were coalesced out of
+// the stream (dropped from delivery, never from the report) because the
+// consumer fell behind the high-water mark.
+type StreamEvent struct {
+	Emission run.Emission
+	Lag      int64
+}
+
+// StreamStats is a point-in-time view of one handle's delivery pipeline.
+type StreamStats struct {
+	Buffered     int   `json:"buffered"`               // emissions currently buffered
+	HighWater    int   `json:"highWater"`              // max simultaneously buffered so far
+	Lagging      bool  `json:"lagging,omitempty"`      // over the mark with undelivered lag
+	Coalesced    int64 `json:"coalesced,omitempty"`    // emissions dropped from the stream so far
+	LagEvents    int64 `json:"lagEvents,omitempty"`    // transitions into the lagging state
+	Disconnected bool  `json:"disconnected,omitempty"` // severed by PolicyDisconnectSlow
+	Abandoned    bool  `json:"abandoned,omitempty"`    // consumer called Abandon
+}
+
+// emitRing is the handle's delivery buffer: a flat-coordinate ring holding
+// emissions as parallel primitive arrays (one []float64 coordinate arena
+// indexed by stride, like preference.FlatPoints) instead of boxed
+// run.Emission values, so a full buffer costs a few contiguous allocations
+// rather than one Out slice per tuple. With limit > 0 the ring never holds
+// more than limit entries: pushing into a full ring overwrites the oldest
+// entry and counts it as coalesced. With limit == 0 it grows unboundedly.
+//
+// All emissions of one handle share the same Query index and Out length,
+// so both are stored once.
+type emitRing struct {
+	limit  int
+	query  int
+	stride int // coords per emission; -1 until the first push
+	rids   []int
+	tids   []int
+	times  []float64
+	outs   []float64
+	start  int // index of the oldest entry
+	n      int
+	lag    int64 // coalesced since the last drain
+}
+
+func (r *emitRing) writeAt(i int, e run.Emission) {
+	r.rids[i], r.tids[i], r.times[i] = e.RID, e.TID, e.Time
+	copy(r.outs[i*r.stride:(i+1)*r.stride], e.Out)
+}
+
+// push buffers one emission, reporting whether it displaced (coalesced) an
+// older one.
+func (r *emitRing) push(e run.Emission) bool {
+	if r.stride < 0 {
+		r.stride = len(e.Out)
+		r.query = e.Query
+	}
+	if r.limit > 0 && r.n == r.limit {
+		r.writeAt(r.start, e)
+		r.start++
+		if r.start == len(r.rids) {
+			r.start = 0
+		}
+		r.lag++
+		return true
+	}
+	if r.n == len(r.rids) {
+		r.grow()
+	}
+	i := r.start + r.n
+	if i >= len(r.rids) {
+		i -= len(r.rids)
+	}
+	r.writeAt(i, e)
+	r.n++
+	return false
+}
+
+// grow enlarges the ring (doubling, clamped to limit), linearizing the
+// entries so start returns to zero.
+func (r *emitRing) grow() {
+	oldCap := len(r.rids)
+	newCap := oldCap * 2
+	if newCap < 16 {
+		newCap = 16
+	}
+	if r.limit > 0 && newCap > r.limit {
+		newCap = r.limit
+	}
+	rids := make([]int, newCap)
+	tids := make([]int, newCap)
+	times := make([]float64, newCap)
+	outs := make([]float64, newCap*r.stride)
+	for i := 0; i < r.n; i++ {
+		j := r.start + i
+		if j >= oldCap {
+			j -= oldCap
+		}
+		rids[i], tids[i], times[i] = r.rids[j], r.tids[j], r.times[j]
+		copy(outs[i*r.stride:(i+1)*r.stride], r.outs[j*r.stride:(j+1)*r.stride])
+	}
+	r.rids, r.tids, r.times, r.outs = rids, tids, times, outs
+	r.start = 0
+}
+
+// drain appends every buffered emission to dst in delivery order, empties
+// the ring, and returns the coalesced count accumulated since the previous
+// drain (those losses happened strictly before the entries returned here).
+func (r *emitRing) drain(dst []run.Emission) ([]run.Emission, int64) {
+	lag := r.lag
+	r.lag = 0
+	for i := 0; i < r.n; i++ {
+		j := r.start + i
+		if j >= len(r.rids) {
+			j -= len(r.rids)
+		}
+		var out []float64
+		if r.stride > 0 {
+			out = make([]float64, r.stride)
+			copy(out, r.outs[j*r.stride:(j+1)*r.stride])
+		}
+		dst = append(dst, run.Emission{
+			Query: r.query, RID: r.rids[j], TID: r.tids[j], Out: out, Time: r.times[j],
+		})
+	}
+	r.start, r.n = 0, 0
+	return dst, lag
+}
+
+// reset releases the ring's storage (disconnect path).
+func (r *emitRing) reset() {
+	r.rids, r.tids, r.times, r.outs = nil, nil, nil, nil
+	r.start, r.n = 0, 0
+}
+
 // Handle is one submitted query's view of the session: identity, arrival
 // time, lifecycle state and the stream of guaranteed-final results.
 //
-// The executor pushes emissions into an unbounded buffer under the
-// handle's lock and never blocks on a consumer; a per-handle pump
-// goroutine (started by the first Results call) drains the buffer into
-// the public channel and closes it when the query can receive no further
-// results.
+// The executor pushes emissions into a per-handle flat-coordinate ring
+// bounded by the session's Backpressure configuration and never blocks on
+// a consumer; a per-handle pump goroutine (started by the first Events or
+// Results call) drains the ring into the public channel and closes it when
+// the query can receive no further results.
 type Handle struct {
 	id      int
 	name    string
 	arrival float64 // virtual seconds at admission (0 for initial queries)
+	bp      Backpressure
 
 	// Executor-owned; query and estTotal only matter while queued.
 	local    int
 	query    workload.Query
 	estTotal int
 
-	mu     sync.Mutex
-	st     queryState
-	buf    []run.Emission
-	closed bool // stream complete: no further pushes
+	mu           sync.Mutex
+	st           queryState
+	ring         emitRing
+	closed       bool // stream complete: no further pushes
+	lagging      bool
+	disconnected bool
+	abandoned    bool
+	highWater    int   // max ring occupancy observed
+	lagEvents    int64 // transitions into the lagging state
+	coalesced    int64 // emissions coalesced out of the stream, lifetime
 
-	pumpOnce sync.Once
-	out      chan run.Emission
-	signal   chan struct{} // 1-buffered nudge: buffer or closed changed
-	dropped  chan struct{} // closed when the consumer abandons the stream
+	pumpOnce    sync.Once
+	out         chan StreamEvent
+	resultsOnce sync.Once
+	res         chan run.Emission
+	signal      chan struct{} // 1-buffered nudge: buffer or closed changed
+	dropped     chan struct{} // closed when the consumer abandons the stream
+	discon      chan struct{} // closed when PolicyDisconnectSlow severs it
 }
 
-func newHandle(id int, name string) *Handle {
-	return &Handle{
+func newHandle(id int, name string, bp Backpressure) *Handle {
+	h := &Handle{
 		id:      id,
 		name:    name,
+		bp:      bp,
 		local:   -1,
 		st:      StateQueued,
 		signal:  make(chan struct{}, 1),
 		dropped: make(chan struct{}),
+		discon:  make(chan struct{}),
 	}
+	h.ring.stride = -1
+	h.ring.limit = bp.HighWater
+	return h
 }
 
 // ID returns the query's session-wide identifier (its submission order).
@@ -57,9 +244,15 @@ func (h *Handle) Name() string { return h.name }
 // admitted; zero for queries that joined the initial workload.
 func (h *Handle) Arrival() float64 { return h.arrival }
 
-// State returns the query's current lifecycle state.
+// State returns the query's current lifecycle state. A running query whose
+// consumer is behind the high-water mark reports the lagging sub-state.
 func (h *Handle) State() string {
-	return string(h.state())
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.st == StateRunning && h.lagging {
+		return string(StateLagging)
+	}
+	return string(h.st)
 }
 
 func (h *Handle) state() queryState {
@@ -74,11 +267,47 @@ func (h *Handle) setState(st queryState) {
 	h.mu.Unlock()
 }
 
-// push appends one emission to the stream (executor goroutine only).
+// StreamStats snapshots the handle's delivery pipeline.
+func (h *Handle) StreamStats() StreamStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return StreamStats{
+		Buffered:     h.ring.n,
+		HighWater:    h.highWater,
+		Lagging:      h.lagging,
+		Coalesced:    h.coalesced,
+		LagEvents:    h.lagEvents,
+		Disconnected: h.disconnected,
+		Abandoned:    h.abandoned,
+	}
+}
+
+// push appends one emission to the stream (executor goroutine only). It
+// never blocks: past the high-water mark the configured policy either
+// coalesces the oldest buffered emission or severs the stream.
 func (h *Handle) push(e run.Emission) {
 	h.mu.Lock()
-	if !h.closed {
-		h.buf = append(h.buf, e)
+	if h.closed || h.disconnected {
+		h.mu.Unlock()
+		return
+	}
+	if h.bp.HighWater > 0 && h.ring.n >= h.bp.HighWater && h.bp.policy() == PolicyDisconnectSlow {
+		h.disconnected = true
+		h.ring.reset()
+		close(h.discon)
+		h.mu.Unlock()
+		h.nudge()
+		return
+	}
+	if h.ring.push(e) {
+		h.coalesced++
+		if !h.lagging {
+			h.lagging = true
+			h.lagEvents++
+		}
+	}
+	if h.ring.n > h.highWater {
+		h.highWater = h.ring.n
 	}
 	h.mu.Unlock()
 	h.nudge()
@@ -100,51 +329,107 @@ func (h *Handle) nudge() {
 	}
 }
 
-// Results returns the query's result stream. Every emission is a
-// guaranteed-final tuple; the channel closes when the query has received
-// its full result set or was cancelled. The stream is single-consumer:
-// all calls return the same channel.
-func (h *Handle) Results() <-chan run.Emission {
+// Events returns the query's delivery stream: guaranteed-final emissions
+// interleaved with lag notices (StreamEvent.Lag > 0) wherever the consumer
+// fell behind and emissions were coalesced away. The channel closes when
+// the query has received its full result set, was cancelled, or the stream
+// was severed by PolicyDisconnectSlow (StreamStats.Disconnected tells the
+// difference). The stream is single-consumer: all calls return the same
+// channel, and Events and Results must not be mixed on one handle.
+func (h *Handle) Events() <-chan StreamEvent {
 	h.pumpOnce.Do(func() {
-		h.out = make(chan run.Emission)
+		h.out = make(chan StreamEvent)
 		go h.pump()
 	})
 	return h.out
 }
 
-// Abandon tells the pump no consumer will read Results again, unblocking
-// and terminating it. Sessions serving network clients call this when the
-// client disconnects; the query itself keeps running until cancelled.
+// Results returns the query's result stream with lag notices filtered out.
+// Every emission is a guaranteed-final tuple; the channel closes when the
+// query has received its full result set or was cancelled. The stream is
+// single-consumer: all calls return the same channel.
+func (h *Handle) Results() <-chan run.Emission {
+	h.resultsOnce.Do(func() {
+		h.res = make(chan run.Emission)
+		evs := h.Events()
+		go func() {
+			defer close(h.res)
+			for ev := range evs {
+				if ev.Lag > 0 {
+					continue
+				}
+				select {
+				case h.res <- ev.Emission:
+				case <-h.dropped:
+					return
+				}
+			}
+		}()
+	})
+	return h.res
+}
+
+// Abandon tells the pump no consumer will read the stream again, unblocking
+// and terminating it (the events channel closes). Sessions serving network
+// clients call this when the client disconnects; the query itself keeps
+// running until cancelled.
 func (h *Handle) Abandon() {
 	h.mu.Lock()
 	select {
 	case <-h.dropped:
 	default:
+		h.abandoned = true
 		close(h.dropped)
 	}
 	h.mu.Unlock()
 }
 
+// send delivers one event, returning false — after closing the stream —
+// when the consumer abandoned it or the disconnect policy severed it.
+func (h *Handle) send(ev StreamEvent) bool {
+	select {
+	case h.out <- ev:
+		return true
+	case <-h.dropped:
+		close(h.out)
+		return false
+	case <-h.discon:
+		close(h.out)
+		return false
+	}
+}
+
 func (h *Handle) pump() {
 	var batch []run.Emission
+	var lag int64
 	for {
 		h.mu.Lock()
-		batch = append(batch[:0], h.buf...)
-		h.buf = h.buf[:0]
+		batch, lag = h.ring.drain(batch[:0])
+		h.lagging = false // buffer empty: consumer is caught up again
 		done := h.closed
+		disc := h.disconnected
 		h.mu.Unlock()
-		for _, e := range batch {
-			select {
-			case h.out <- e:
-			case <-h.dropped:
+		if lag > 0 {
+			// The coalesced emissions predate everything drained just now,
+			// so the notice goes out ahead of the batch.
+			if !h.send(StreamEvent{Lag: lag}) {
 				return
 			}
+		}
+		for _, e := range batch {
+			if !h.send(StreamEvent{Emission: e}) {
+				return
+			}
+		}
+		if disc {
+			close(h.out)
+			return
 		}
 		if done {
 			// Everything buffered before the close flag was set has been
 			// forwarded; no further pushes can happen.
 			h.mu.Lock()
-			empty := len(h.buf) == 0
+			empty := h.ring.n == 0
 			h.mu.Unlock()
 			if empty {
 				close(h.out)
@@ -155,7 +440,10 @@ func (h *Handle) pump() {
 		select {
 		case <-h.signal:
 		case <-h.dropped:
+			close(h.out)
 			return
+		case <-h.discon:
+			// Next iteration observes the disconnect flag and closes.
 		}
 	}
 }

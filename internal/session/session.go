@@ -8,8 +8,9 @@
 // close) is a closure handed to that goroutine over an unbuffered channel
 // and executed between scheduling steps, so the engine state needs no
 // locking and the virtual clock stays strictly serial. Result delivery
-// never blocks the executor: each query's emissions go to an unbounded
-// per-handle buffer drained by the handle's own pump goroutine.
+// never blocks the executor: each query's emissions go to a per-handle
+// flat-coordinate ring — bounded by Config.Backpressure — drained by the
+// handle's own pump goroutine.
 //
 // Queries submitted before execution starts form the initial workload and
 // take the exact batch path — a session whose queries are all
@@ -47,6 +48,11 @@ var (
 	ErrSessionFull = errors.New("session: lifetime query limit reached")
 	// ErrUnknownQuery is returned for operations on query IDs never issued.
 	ErrUnknownQuery = errors.New("session: unknown query")
+	// ErrOverloaded sheds submissions while the aggregate buffered-emission
+	// count is above Config.GlobalHighWater — consumers are not draining
+	// their streams fast enough for the session to take on more delivery
+	// work (HTTP servers map it to 503).
+	ErrOverloaded = errors.New("session: delivery buffers over the global high-water mark")
 )
 
 // Config describes an online session: the loaded relations, the shared
@@ -68,6 +74,17 @@ type Config struct {
 	// Tracer, when set, receives the session's structured execution trace
 	// (it overrides Engine.Tracer).
 	Tracer trace.Tracer
+	// Backpressure bounds every handle's delivery buffer between the
+	// executor and its stream consumer; the zero value keeps buffers
+	// unbounded. Backpressure acts strictly on the delivery side — the
+	// executor, virtual clock and report are untouched by any setting, so
+	// a pre-submitted session stays byte-identical to a batch run at any
+	// high-water mark.
+	Backpressure Backpressure
+	// GlobalHighWater, when positive, caps the aggregate buffered-emission
+	// count across all handles: submissions arriving while the total is at
+	// or above it are shed with ErrOverloaded until consumers drain.
+	GlobalHighWater int
 }
 
 // queryState is the lifecycle phase of one submitted query.
@@ -82,6 +99,11 @@ const (
 	StateDone queryState = "done"
 	// StateCancelled: retired by Cancel; stream closed, no retractions.
 	StateCancelled queryState = "cancelled"
+	// StateLagging: running, but the stream consumer is behind — the
+	// delivery buffer hit its high-water mark and emissions are being
+	// coalesced. A reported sub-state of StateRunning (Handle.State and
+	// Stats rows show it; the internal lifecycle remains running).
+	StateLagging queryState = "lagging"
 )
 
 // Session is one online CAQE execution. All methods are safe for
@@ -125,6 +147,14 @@ func Open(cfg Config) (*Session, error) {
 	}
 	if cfg.MaxConcurrent <= 0 || cfg.MaxConcurrent > workload.MaxQueries {
 		cfg.MaxConcurrent = workload.MaxQueries
+	}
+	switch cfg.Backpressure.policy() {
+	case PolicyBlockExecutorNever, PolicyDisconnectSlow:
+	default:
+		return nil, fmt.Errorf("session: unknown delivery policy %q", cfg.Backpressure.Policy)
+	}
+	if cfg.Backpressure.HighWater < 0 {
+		cfg.Backpressure.HighWater = 0
 	}
 	if cfg.Tracer != nil {
 		cfg.Engine.Tracer = cfg.Tracer
@@ -236,6 +266,16 @@ func (s *Session) validate(q workload.Query) error {
 	return nil
 }
 
+// buffered sums the emissions currently sitting in delivery buffers across
+// every handle — the quantity the global high-water mark sheds load on.
+func (s *Session) buffered() int {
+	n := 0
+	for _, h := range s.handles {
+		n += h.StreamStats().Buffered
+	}
+	return n
+}
+
 // open counts queries admitted and not yet finished.
 func (s *Session) open() int {
 	n := 0
@@ -276,11 +316,14 @@ func (s *Session) submit(q workload.Query, estTotal int) (*Handle, error) {
 	if s.open() >= s.cfg.MaxConcurrent {
 		return nil, ErrAdmissionFull
 	}
+	if s.cfg.GlobalHighWater > 0 && s.buffered() >= s.cfg.GlobalHighWater {
+		return nil, ErrOverloaded
+	}
 	if err := s.validate(q); err != nil {
 		return nil, err
 	}
 
-	h := newHandle(len(s.handles), q.Name)
+	h := newHandle(len(s.handles), q.Name, s.cfg.Backpressure)
 	if !s.started {
 		h.query, h.estTotal = q, estTotal
 		h.setState(StateQueued)
@@ -428,9 +471,21 @@ type QueryStats struct {
 	ID           int     `json:"id"`
 	Name         string  `json:"name"`
 	State        string  `json:"state"`
-	Arrival      float64 `json:"arrival"`      // virtual seconds at admission
-	Delivered    int     `json:"delivered"`    // results streamed so far
-	Satisfaction float64 `json:"satisfaction"` // contract satisfaction so far
+	Arrival      float64 `json:"arrival"`             // virtual seconds at admission
+	Delivered    int     `json:"delivered"`           // results streamed so far
+	Satisfaction float64 `json:"satisfaction"`        // contract satisfaction so far
+	Buffered     int     `json:"buffered,omitempty"`  // emissions awaiting the consumer
+	Coalesced    int64   `json:"coalesced,omitempty"` // emissions dropped from the stream
+}
+
+// DeliveryStats aggregates the delivery pipeline across every handle.
+type DeliveryStats struct {
+	Buffered    int   `json:"buffered"`    // emissions currently buffered, all handles
+	HighWater   int   `json:"highWater"`   // max per-handle occupancy ever observed
+	LagEvents   int64 `json:"lagEvents"`   // transitions into the lagging state
+	Coalesced   int64 `json:"coalesced"`   // emissions coalesced out of streams
+	Disconnects int64 `json:"disconnects"` // streams severed by PolicyDisconnectSlow
+	Abandons    int64 `json:"abandons"`    // streams abandoned by their consumer
 }
 
 // Stats is a point-in-time view of the session.
@@ -441,6 +496,7 @@ type Stats struct {
 	Open      int              `json:"open"` // admitted, not yet finished
 	Submitted int              `json:"submitted"`
 	Queries   []QueryStats     `json:"queries"`
+	Delivery  DeliveryStats    `json:"delivery"`
 	Counters  metrics.Counters `json:"counters"`
 }
 
@@ -466,17 +522,33 @@ func (s *Session) stats() Stats {
 		st.Counters = s.clock.Counters()
 	}
 	for _, h := range s.handles {
+		ss := h.StreamStats()
 		qs := QueryStats{
-			ID:      h.id,
-			Name:    h.name,
-			State:   string(h.state()),
-			Arrival: h.arrival,
+			ID:        h.id,
+			Name:      h.name,
+			State:     h.State(),
+			Arrival:   h.arrival,
+			Buffered:  ss.Buffered,
+			Coalesced: ss.Coalesced,
 		}
 		if h.state() != StateQueued && s.rep != nil && h.local >= 0 && h.local < len(s.rep.Trackers) {
 			qs.Delivered = len(s.rep.PerQuery[h.local])
 			qs.Satisfaction = contract.AvgSatisfaction(s.rep.Trackers[h.local])
 		}
 		st.Queries = append(st.Queries, qs)
+
+		st.Delivery.Buffered += ss.Buffered
+		if ss.HighWater > st.Delivery.HighWater {
+			st.Delivery.HighWater = ss.HighWater
+		}
+		st.Delivery.LagEvents += ss.LagEvents
+		st.Delivery.Coalesced += ss.Coalesced
+		if ss.Disconnected {
+			st.Delivery.Disconnects++
+		}
+		if ss.Abandoned {
+			st.Delivery.Abandons++
+		}
 	}
 	return st
 }

@@ -56,6 +56,13 @@ const (
 	KindEnd Kind = "end"
 )
 
+// Kinds returns every event kind in canonical lifecycle order — the stable
+// iteration order that metrics exposition and summaries rely on (Snapshot
+// event counts are keyed by Kind in an unordered map).
+func Kinds() []Kind {
+	return []Kind{KindStart, KindDecision, KindDefer, KindDiscard, KindEmit, KindFeedback, KindEnd}
+}
+
 // Event is one structured trace record. Region, Query and RunnerUp use -1
 // for "not applicable"; New returns an Event with those defaults set.
 // Every event carries the strategy label and the virtual timestamp T at
