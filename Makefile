@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench figures examples clean
+.PHONY: all build test vet bench loadbench figures examples clean
 
 all: build vet test
 
@@ -27,6 +27,22 @@ test:
 bench:
 	go test -bench=. -benchmem ./... | tee BENCH_results.txt
 	go run ./cmd/benchjson < BENCH_results.txt > BENCH_results.json
+
+# Serving-path load benchmark: a wall-clock caqe-serve instance driven by
+# caqe-loadgen with 1000 concurrent client sessions cycling through mixed
+# contracts, cancellations and slow consumers. BENCH_load_results.json is
+# the committed baseline (TTFR percentiles, lifecycle counts, pScore
+# trajectory); refresh it on a quiet machine after deliberate serving-path
+# changes.
+loadbench:
+	go build -o /tmp/caqe-serve-bench ./cmd/caqe-serve
+	go build -o /tmp/caqe-loadgen-bench ./cmd/caqe-loadgen
+	/tmp/caqe-serve-bench -addr 127.0.0.1:8790 -n 400 -clock wall \
+		-max-concurrent 64 >/dev/null 2>&1 & echo $$! > /tmp/caqe-serve-bench.pid
+	sleep 1
+	/tmp/caqe-loadgen-bench -url http://127.0.0.1:8790 -sessions 1000 \
+		-duration 15s -out BENCH_load_results.json; \
+		st=$$?; kill `cat /tmp/caqe-serve-bench.pid` 2>/dev/null; exit $$st
 
 # Full-scale tables for every figure of the paper's evaluation (§7).
 figures:

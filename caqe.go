@@ -433,6 +433,12 @@ const (
 	DisconnectSlow     = session.PolicyDisconnectSlow
 )
 
+// MaxConcurrentQueries is the engine's representation limit on
+// simultaneously live queries (query sets are 64-bit masks). Session
+// lifetimes are unbounded — retired query slots are recycled — but
+// SessionConfig.MaxConcurrent cannot exceed this.
+const MaxConcurrentQueries = workload.MaxQueries
+
 // Typed session errors, for mapping to transport-level responses (an HTTP
 // server returns 429 for ErrAdmissionFull, 409 for ErrSessionFull, 503 for
 // ErrDraining and ErrSessionOverloaded).

@@ -8,6 +8,7 @@
 //
 //	caqe-serve [-addr :8734] [-n rows] [-dims d] [-dist independent|correlated|anticorrelated]
 //	           [-sel σ] [-keys k] [-seed s] [-max-concurrent m] [-workers w] [-cells c]
+//	           [-clock virtual|wall] [-retry-after s]
 //	           [-max-buffered n] [-buffer-policy block-executor-never|disconnect-slow]
 //	           [-max-buffered-total n] [-stream-write-timeout d]
 //	           [-read-header-timeout d] [-idle-timeout d]
@@ -23,10 +24,17 @@
 //	GET    /metrics              Prometheus text exposition
 //	GET    /healthz              liveness (503 while draining)
 //
+// The engine clock is selectable: -clock=virtual (default) charges
+// contract time per elementary operation and is deterministic, while
+// -clock=wall runs contract deadlines against real elapsed time and
+// drives Eq. 11 feedback off measured processing rates.
+//
 // Admission is bounded: beyond -max-concurrent open queries a submission
-// is rejected with 429, past the engine's lifetime limit of 64 query
-// slots with 409, and — when consumers are not draining their streams and
-// aggregate buffered emissions sit above -max-buffered-total — with 503.
+// is rejected with 429, with 409 if all 64 engine query slots hold live
+// (unfinished, uncancelled) queries, and — when consumers are not
+// draining their streams and aggregate buffered emissions sit above
+// -max-buffered-total — with 503. Retryable rejections (429 and 503)
+// carry a Retry-After header (-retry-after seconds).
 // Each query's delivery buffer is bounded by -max-buffered; past it the
 // stream either coalesces its oldest undelivered results behind a lag
 // notice (block-executor-never) or is severed while the query keeps
@@ -76,6 +84,9 @@ func main() {
 		workers = flag.Int("workers", 0, "join worker pool size (default all cores)")
 		cells   = flag.Int("cells", 0, "quad-tree leaf cells per relation (default engine choice)")
 
+		clock      = flag.String("clock", "virtual", "engine clock: virtual (deterministic) or wall (real-time deadlines)")
+		retryAfter = flag.Int("retry-after", 1, "Retry-After header value in seconds on 429/503 rejections")
+
 		maxBuffered = flag.Int("max-buffered", 4096, "per-query delivery-buffer high-water mark in emissions (0 = unbounded)")
 		bufPolicy   = flag.String("buffer-policy", "block-executor-never", "past the high-water mark: block-executor-never (coalesce + lag notice) or disconnect-slow (sever the stream)")
 		maxBufTotal = flag.Int("max-buffered-total", 65536, "shed new submissions with 503 while aggregate buffered emissions exceed this (0 = never shed)")
@@ -89,6 +100,7 @@ func main() {
 	srv, err := newServer(serverConfig{
 		N: *n, Dims: *dims, Dist: *dist, Sel: *sel, Keys: *keys, Seed: *seed,
 		MaxConcurrent: *maxConc, Workers: *workers, TargetCells: *cells,
+		Clock: *clock, RetryAfterSeconds: *retryAfter,
 		MaxBuffered: *maxBuffered, BufferPolicy: *bufPolicy,
 		MaxBufferedTotal: *maxBufTotal, StreamWriteTimeout: *streamWrite,
 	})

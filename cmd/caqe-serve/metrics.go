@@ -23,9 +23,10 @@ type serveMetrics struct {
 	requests map[requestKey]int64
 
 	latency      *metrics.Histogram
-	encodeErrors atomic.Int64 // stream writes that failed mid-delivery
-	lagNotices   atomic.Int64 // lag records written to client streams
-	loadShed     atomic.Int64 // submissions shed with 503 (global high water)
+	ttfr         *metrics.Histogram // submission to first buffered result, wall seconds
+	encodeErrors atomic.Int64       // stream writes that failed mid-delivery
+	lagNotices   atomic.Int64       // lag records written to client streams
+	loadShed     atomic.Int64       // submissions shed with 503 (global high water)
 }
 
 type requestKey struct {
@@ -37,6 +38,8 @@ func newServeMetrics() *serveMetrics {
 	return &serveMetrics{
 		requests: make(map[requestKey]int64),
 		latency: metrics.NewHistogram(
+			0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10),
+		ttfr: metrics.NewHistogram(
 			0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10),
 	}
 }
@@ -82,6 +85,8 @@ func (m *serveMetrics) families() []metrics.PromFamily {
 		req,
 		m.latency.Family("caqe_http_request_duration_seconds",
 			"HTTP request latency (streaming requests measure the full stream)."),
+		m.ttfr.Family("caqe_query_ttfr_seconds",
+			"Wall time from query submission to its first result entering the delivery buffer."),
 		counterFamily("caqe_stream_encode_errors_total",
 			"Result-stream writes that failed mid-delivery (client gone or write deadline hit).",
 			m.encodeErrors.Load()),
@@ -122,8 +127,11 @@ func (s *server) sessionFamilies() []metrics.PromFamily {
 			"Whether the serving session is open (0 after final drain).", 1),
 		gaugeFamily("caqe_session_draining",
 			"Whether the session is draining for shutdown.", boolGauge(st.Draining)),
+		gaugeFamily("caqe_clock_wall",
+			"Whether the session runs on the wall clock (0 = virtual clock).",
+			boolGauge(s.wallClock)),
 		gaugeFamily("caqe_session_virtual_seconds",
-			"Virtual execution time of the session.", st.Now),
+			"Session clock in contract seconds (virtual units, or elapsed wall seconds in wall mode).", st.Now),
 		gaugeFamily("caqe_session_open_queries",
 			"Queries admitted and not yet finished.", float64(st.Open)),
 		counterFamily("caqe_session_queries_submitted_total",

@@ -25,6 +25,15 @@ type serverConfig struct {
 	MaxConcurrent        int
 	Workers, TargetCells int
 
+	// Clock selects the engine clock: "virtual" (default; deterministic,
+	// contract deadlines in virtual seconds) or "wall" (real time; contract
+	// deadlines are wall deadlines and Eq. 11 feedback runs off measured
+	// processing rates).
+	Clock string
+	// RetryAfterSeconds is the Retry-After header value sent with every 429
+	// and 503 rejection (0 = default 1s).
+	RetryAfterSeconds int
+
 	// MaxBuffered is the per-query delivery-buffer high-water mark
 	// (0 = unbounded); BufferPolicy selects what happens past it
 	// ("block-executor-never" or "disconnect-slow", empty = the former).
@@ -61,6 +70,8 @@ type server struct {
 	sm           *serveMetrics
 	agg          *trace.Aggregator
 	writeTimeout time.Duration
+	wallClock    bool
+	retryAfter   int // seconds, sent as Retry-After on 429/503
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -77,6 +88,22 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	if cfg.Keys < 1 {
 		return nil, fmt.Errorf("need at least one key column, got %d", cfg.Keys)
+	}
+	var wall bool
+	switch strings.ToLower(cfg.Clock) {
+	case "", "virtual":
+	case "wall":
+		wall = true
+	default:
+		return nil, fmt.Errorf("unknown clock mode %q (virtual or wall)", cfg.Clock)
+	}
+	if cfg.MaxConcurrent < 0 || cfg.MaxConcurrent > caqe.MaxConcurrentQueries {
+		return nil, fmt.Errorf("max-concurrent %d outside [0, %d] (0 = engine limit)",
+			cfg.MaxConcurrent, caqe.MaxConcurrentQueries)
+	}
+	retryAfter := cfg.RetryAfterSeconds
+	if retryAfter <= 0 {
+		retryAfter = 1
 	}
 	sels := make([]float64, cfg.Keys)
 	for i := range sels {
@@ -106,11 +133,12 @@ func newServer(cfg serverConfig) (*server, error) {
 	// performs no counted work, so serving with it attached stays
 	// byte-identical to an untraced run.
 	agg := trace.NewAggregator(nil, nil)
+	sm := newServeMetrics()
 	sess, err := caqe.OpenSession(caqe.SessionConfig{
 		R: r, T: t,
 		JoinConds:     joinConds,
 		OutDims:       outDims,
-		Engine:        caqe.Options{Workers: cfg.Workers, TargetCells: cfg.TargetCells},
+		Engine:        caqe.Options{Workers: cfg.Workers, TargetCells: cfg.TargetCells, WallClock: wall},
 		MaxConcurrent: cfg.MaxConcurrent,
 		Tracer:        agg,
 		Backpressure: caqe.SessionBackpressure{
@@ -118,13 +146,15 @@ func newServer(cfg serverConfig) (*server, error) {
 			Policy:    caqe.SessionDeliveryPolicy(cfg.BufferPolicy),
 		},
 		GlobalHighWater: cfg.MaxBufferedTotal,
+		OnFirstResult:   func(id int, seconds float64) { sm.ttfr.Observe(seconds) },
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &server{
 		sess: sess, joinConds: joinConds, outDims: outDims, autoStart: !cfg.noAutoStart,
-		logger: logger, sm: newServeMetrics(), agg: agg, writeTimeout: cfg.StreamWriteTimeout,
+		logger: logger, sm: sm, agg: agg, writeTimeout: cfg.StreamWriteTimeout,
+		wallClock: wall, retryAfter: retryAfter,
 	}, nil
 }
 
@@ -233,12 +263,12 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	c, err := req.Contract.build()
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
 	if req.Name == "" {
@@ -257,7 +287,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.sm.loadShed.Add(1)
 			s.logger.Printf("caqe-serve: shedding submission %q: %v", req.Name, err)
 		}
-		httpError(w, submitStatus(err), err)
+		s.fail(w, errStatus(err), err)
 		return
 	}
 	if s.autoStart {
@@ -271,8 +301,11 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// submitStatus maps typed session errors onto HTTP status codes.
-func submitStatus(err error) int {
+// errStatus maps typed session errors onto HTTP status codes, the one
+// vocabulary every handler speaks: the -max-concurrent admission cap is
+// retryable (429), slot exhaustion is a resource conflict (409), and a
+// draining, closed or overloaded session is temporarily unavailable (503).
+func errStatus(err error) int {
 	switch {
 	case errors.Is(err, caqe.ErrAdmissionFull):
 		return http.StatusTooManyRequests
@@ -286,10 +319,20 @@ func submitStatus(err error) int {
 	}
 }
 
+// fail writes a JSON error response. Retryable rejections — 429 from the
+// admission cap, 503 from drain/shutdown/overload — carry a Retry-After
+// hint so well-behaved clients back off instead of hammering the server.
+func (s *server) fail(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
 func (s *server) handle(w http.ResponseWriter, r *http.Request) (*caqe.SessionHandle, bool) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad query id %q", r.PathValue("id")))
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad query id %q", r.PathValue("id")))
 		return nil, false
 	}
 	h, err := s.sess.Query(id)
@@ -298,7 +341,7 @@ func (s *server) handle(w http.ResponseWriter, r *http.Request) (*caqe.SessionHa
 		if errors.Is(err, caqe.ErrSessionClosed) {
 			status = http.StatusServiceUnavailable
 		}
-		httpError(w, status, err)
+		s.fail(w, status, err)
 		return nil, false
 	}
 	return h, true
@@ -320,7 +363,11 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sess.Cancel(h.ID()); err != nil && !errors.Is(err, caqe.ErrSessionClosed) {
-		httpError(w, http.StatusInternalServerError, err)
+		status := errStatus(err)
+		if status == http.StatusBadRequest {
+			status = http.StatusInternalServerError
+		}
+		s.fail(w, status, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -455,7 +502,7 @@ func encodeFramed(w io.Writer, enc *json.Encoder, sse bool, event string, v any)
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st, err := s.sess.Stats()
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, err)
+		s.fail(w, http.StatusServiceUnavailable, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -464,7 +511,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st, err := s.sess.Stats()
 	if err != nil || st.Draining {
-		httpError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		s.fail(w, http.StatusServiceUnavailable, errors.New("draining"))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -474,8 +521,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"caqe"
+)
+
+// TestErrStatusMatrix pins the full error-to-status vocabulary shared by
+// every handler path.
+func TestErrStatusMatrix(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{caqe.ErrAdmissionFull, http.StatusTooManyRequests},
+		{caqe.ErrSessionFull, http.StatusConflict},
+		{caqe.ErrSessionDraining, http.StatusServiceUnavailable},
+		{caqe.ErrSessionClosed, http.StatusServiceUnavailable},
+		{caqe.ErrSessionOverloaded, http.StatusServiceUnavailable},
+		{caqe.ErrUnknownQuery, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if got := errStatus(c.err); got != c.want {
+			t.Errorf("errStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterHeaders: retryable rejections (429 from the admission cap,
+// 503 mid-drain) carry the configured Retry-After hint; client errors do
+// not.
+func TestRetryAfterHeaders(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxConcurrent = 1
+	cfg.RetryAfterSeconds = 7
+	cfg.noAutoStart = true
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	qs := testQueries()
+	if _, status := submit(t, ts, qs[0]); status != http.StatusCreated {
+		t.Fatalf("first submit: %d", status)
+	}
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/queries", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	// Over the -max-concurrent cap: 429 with Retry-After.
+	resp := post(`{"jc":0,"pref":[0,1]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submit: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("429 Retry-After = %q, want 7", got)
+	}
+
+	// Malformed body: 400 and no Retry-After.
+	resp = post("{nope")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad submit: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "" {
+		t.Errorf("400 carries Retry-After %q", got)
+	}
+
+	// Mid-drain: submissions and health both answer 503 with Retry-After.
+	srv.drain()
+	resp = post(`{"jc":0,"pref":[0,1]}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submit: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("503 Retry-After = %q, want 7", got)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz post-drain: %d", hresp.StatusCode)
+	}
+	if got := hresp.Header.Get("Retry-After"); got != "7" {
+		t.Errorf("healthz 503 Retry-After = %q, want 7", got)
+	}
+}
+
+// TestServerConfigValidation: invalid clock modes and out-of-range
+// admission caps fail construction with errors instead of being clamped.
+func TestServerConfigValidation(t *testing.T) {
+	bad := testConfig()
+	bad.Clock = "sundial"
+	if _, err := newServer(bad); err == nil {
+		t.Error("unknown clock mode accepted")
+	}
+	for _, mc := range []int{-1, caqe.MaxConcurrentQueries + 1} {
+		cfg := testConfig()
+		cfg.MaxConcurrent = mc
+		if _, err := newServer(cfg); err == nil {
+			t.Errorf("max-concurrent %d accepted", mc)
+		}
+	}
+	ok := testConfig()
+	ok.Clock = "wall"
+	ok.MaxConcurrent = caqe.MaxConcurrentQueries
+	srv, err := newServer(ok)
+	if err != nil {
+		t.Fatalf("valid wall config rejected: %v", err)
+	}
+	srv.drain()
+}
+
+// TestServeWallClockEndToEnd: the wall-clock serving path returns exactly
+// the batch result sets (the clock changes scheduling, never answers) and
+// exposes the clock mode and TTFR histogram on /metrics.
+func TestServeWallClockEndToEnd(t *testing.T) {
+	ref := batchReference(t)
+	cfg := testConfig()
+	cfg.Clock = "wall"
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+	defer srv.drain()
+
+	ids := make([]int, 0, 3)
+	for _, qr := range testQueries() {
+		qres, status := submit(t, ts, qr)
+		if status != http.StatusCreated {
+			t.Fatalf("submit %s: status %d", qr.Name, status)
+		}
+		ids = append(ids, qres.ID)
+	}
+	for qi, id := range ids {
+		es, _, end := streamResults(t, ts, id)
+		if end.Done == nil || !*end.Done {
+			t.Fatalf("query %d: stream did not finish: %+v", qi, end)
+		}
+		got, want := keysOf(es), ref.ResultSet(qi)
+		if len(got) != len(want) {
+			t.Errorf("query %d: %d results streamed, batch has %d", qi, len(got), len(want))
+			continue
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Errorf("query %d result %d: %+v vs %+v", qi, k, got[k], want[k])
+				break
+			}
+		}
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if !strings.Contains(body, "caqe_clock_wall 1") {
+		t.Error("metrics missing caqe_clock_wall 1")
+	}
+	if !strings.Contains(body, "caqe_query_ttfr_seconds_count") {
+		t.Error("metrics missing caqe_query_ttfr_seconds histogram")
+	}
+}

@@ -1,0 +1,82 @@
+package baseline
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"caqe/internal/contract"
+	"caqe/internal/datagen"
+	"caqe/internal/run"
+	"caqe/internal/workload"
+)
+
+// TestVirtualClockByteIdentityMatrix is the virtual-mode regression gate
+// for the wall-clock work: across every strategy, data distribution and
+// worker count, a virtual-clock run must stay bit-identical — same
+// emission order, same virtual timestamps, same counters, same end time.
+// Any change that perturbs the default clock path (the wall clock, the
+// rate estimator, slot reclamation) trips this immediately.
+func TestVirtualClockByteIdentityMatrix(t *testing.T) {
+	w := workload.MustBenchmark(workload.BenchmarkConfig{
+		NumQueries: 4, Dims: 3, Priority: workload.HighDimsHigh,
+		NewContract: func(int) contract.Contract { return contract.C3(15) },
+	})
+	dists := []datagen.Distribution{datagen.Independent, datagen.Correlated, datagen.AntiCorrelated}
+	workers := []int{1, 4}
+	for _, dist := range dists {
+		r, tt, err := datagen.Pair(140, 3, dist, []float64{0.05}, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reference reports per strategy at Workers: 1; every other worker
+		// count must reproduce them exactly.
+		refs := map[string]*run.Report{}
+		for _, nw := range workers {
+			strategies := All(Options{TargetCells: 6, GridResolution: 16, Workers: nw})
+			for _, s := range strategies {
+				t.Run(fmt.Sprintf("%s-%s-w%d", s.Name, dist, nw), func(t *testing.T) {
+					rep, err := s.Run(w, r, tt, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref, seen := refs[s.Name]
+					if !seen {
+						refs[s.Name] = rep
+						return
+					}
+					assertIdenticalReports(t, ref, rep)
+				})
+			}
+		}
+	}
+}
+
+// assertIdenticalReports requires bit-identical execution artifacts: end
+// time, every counter, and the full per-query emission streams including
+// virtual timestamps and delivery order.
+func assertIdenticalReports(t *testing.T, a, b *run.Report) {
+	t.Helper()
+	if a.EndTime != b.EndTime {
+		t.Errorf("end times differ: %g vs %g", a.EndTime, b.EndTime)
+	}
+	if !reflect.DeepEqual(a.Counters, b.Counters) {
+		t.Errorf("counters differ:\n%+v\n%+v", a.Counters, b.Counters)
+	}
+	if len(a.PerQuery) != len(b.PerQuery) {
+		t.Fatalf("query counts differ: %d vs %d", len(a.PerQuery), len(b.PerQuery))
+	}
+	for qi := range a.PerQuery {
+		ea, eb := a.PerQuery[qi], b.PerQuery[qi]
+		if len(ea) != len(eb) {
+			t.Errorf("query %d: %d vs %d emissions", qi, len(ea), len(eb))
+			continue
+		}
+		for k := range ea {
+			if ea[k].Time != eb[k].Time || ea[k].RID != eb[k].RID || ea[k].TID != eb[k].TID {
+				t.Errorf("query %d emission %d differs: %+v vs %+v", qi, k, ea[k], eb[k])
+				break
+			}
+		}
+	}
+}

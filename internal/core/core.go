@@ -45,6 +45,17 @@ type Options struct {
 	// comparisons per join result (default 4).
 	CmpPerResult float64
 
+	// WallClock switches the engine from the deterministic virtual clock to
+	// real (monotonic) time: contract deadlines become wall deadlines and
+	// the Eq. 11 / CSM horizon is derived from the measured processing rate
+	// (work units per real second) instead of counted operations. Virtual
+	// mode (the default) is byte-identical to builds without this option.
+	WallClock bool
+	// WallNowNS optionally overrides the wall clock's monotonic nanosecond
+	// source (tests inject a deterministic one). Ignored unless WallClock
+	// is set.
+	WallNowNS func() int64
+
 	// DisableFeedback freezes the query weights at their initial values,
 	// disabling the Eq. 11 satisfaction feedback (ablation).
 	DisableFeedback bool
@@ -94,6 +105,16 @@ type TraceEvent struct {
 	Score  float64 // CSM at the decision (schedule/defer)
 	Query  int     // affected query (discard), -1 otherwise
 	Time   float64 // virtual seconds
+}
+
+// NewClock builds the clock the options select: a wall clock when WallClock
+// is set (with WallNowNS as the time source when provided), otherwise the
+// deterministic virtual clock.
+func (o Options) NewClock() *metrics.Clock {
+	if o.WallClock {
+		return metrics.NewWallClockFunc(o.WallNowNS)
+	}
+	return metrics.NewClock()
 }
 
 func (o Options) withDefaults() Options {
@@ -167,7 +188,7 @@ func (e *Engine) Execute(estTotals []int) (*run.Report, error) {
 // RunWithTotals, RunProgressive — all route here, so counter, emission and
 // tracing semantics cannot drift between them.
 func (e *Engine) ExecuteRun(estTotals []int, onEmit func(run.Emission)) (*run.Report, error) {
-	clock := metrics.NewClock()
+	clock := e.opt.NewClock()
 	rep := run.NewReport("CAQE", e.w, estTotals)
 	rep.OnEmit = onEmit
 	rep.StartTrace(e.opt.Tracer)

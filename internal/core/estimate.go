@@ -214,13 +214,73 @@ func (st *state) progEst(rc *region.Region, qi int, doms []*region.Region) float
 	return (prog / total) * st.cardinality(rc, qi)
 }
 
+// rateEstimator tracks the measured processing rate — counted work units
+// per real second — of a wall-clock run. Samples accumulate until they span
+// a measurable stretch of real time (clock granularity makes shorter deltas
+// noise), then fold into an exponential moving average. Virtual runs never
+// touch it: there, counted work is the clock and the rate is 1 by
+// construction.
+type rateEstimator struct {
+	accWork float64 // work units since the EWMA last absorbed a sample
+	accSec  float64 // real seconds since the EWMA last absorbed a sample
+	ewma    float64 // work units per real second (0 = no sample yet)
+}
+
+// minRateSampleSec is the shortest real-time span a rate sample may cover;
+// shorter deltas keep accumulating.
+const minRateSampleSec = 50e-6
+
+// rateEWMAAlpha weights new samples in the moving average.
+const rateEWMAAlpha = 0.3
+
+func (r *rateEstimator) observe(dWork, dSec float64) {
+	if dWork <= 0 && dSec <= 0 {
+		return
+	}
+	r.accWork += dWork
+	r.accSec += dSec
+	if r.accSec < minRateSampleSec {
+		return
+	}
+	sample := r.accWork / r.accSec
+	if r.ewma == 0 {
+		r.ewma = sample
+	} else {
+		r.ewma += rateEWMAAlpha * (sample - r.ewma)
+	}
+	r.accWork, r.accSec = 0, 0
+}
+
+// estimate returns the current rate, falling back to the nominal
+// "one work unit per virtual microsecond" calibration until the first
+// measurable sample lands.
+func (r *rateEstimator) estimate() float64 {
+	if r.ewma > 0 {
+		return r.ewma
+	}
+	return metrics.VirtualSecond
+}
+
+// finishAt converts a region's cost estimate t_c (in work units) into the
+// absolute time, in contract seconds, at which the region's tuple-level
+// processing would complete if started now. In virtual mode this is the
+// exact Eq. 8 expression (t_curr + t_c)/VirtualSecond — byte-identical to
+// builds without wall support. In wall mode the horizon is t_c divided by
+// the measured processing rate, added to the real elapsed time.
+func (st *state) finishAt(tc float64) float64 {
+	if st.clock.Wall() {
+		return st.clock.Now()/metrics.VirtualSecond + tc/st.rate.estimate()
+	}
+	return (st.clock.Now() + tc) / metrics.VirtualSecond
+}
+
 // csm implements Eq. 8, the Cumulative Satisfaction Metric of a candidate
 // region: the weighted sum over served queries of the expected progressive
 // output, valued at the utility a tuple would have when the region's
 // tuple-level processing completes (t_curr + t_c).
 func (st *state) csm(rc *region.Region) float64 {
 	tc := st.costEstimate(rc)
-	at := (st.clock.Now() + tc) / metrics.VirtualSecond
+	at := st.finishAt(tc)
 	doms := st.dominatorsByQuery(rc)
 	total := 0.0
 	for qi := rc.Alive.Next(0); qi >= 0; qi = rc.Alive.Next(qi + 1) {

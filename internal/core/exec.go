@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"caqe/internal/metrics"
@@ -11,6 +12,13 @@ import (
 	"caqe/internal/skycube"
 	"caqe/internal/workload"
 )
+
+// ErrQuerySlotsExhausted is returned by Admit when all 64 query bit
+// positions hold queries that are still live — neither cancelled nor
+// drained — so no slot can be reclaimed for the new query. Sessions bound
+// live queries well below 64 (Config.MaxConcurrent), so hitting this means
+// the caller admitted past its own concurrency gate.
+var ErrQuerySlotsExhausted = errors.New("core: all query slots hold live queries")
 
 // Exec is a stepping handle over one CAQE execution: the same Algorithm 1
 // loop as a batch run, but advanced one scheduling decision at a time so an
@@ -88,8 +96,10 @@ func (x *Exec) Step() bool {
 // Now returns the current virtual time in seconds.
 func (x *Exec) Now() float64 { return x.clock.Now() / metrics.VirtualSecond }
 
-// NumQueries returns the number of queries the execution currently serves,
-// including cancelled ones (local indices are never reused).
+// NumQueries returns the number of query slots the execution currently
+// holds, including cancelled or drained ones awaiting reuse. Local indices
+// are stable while a query is live but are recycled once all 64 slots fill
+// (see Admit); report indices are the never-reused identifiers.
 func (x *Exec) NumQueries() int { return len(x.st.w.Queries) }
 
 // Finish finalizes the report with the current virtual time and counters.
@@ -118,11 +128,28 @@ func (x *Exec) Finish() {
 //
 // Finally the new query's seeded candidates get their first safety check,
 // emitting any result already guaranteed final.
+//
+// Local indices are recycled: when all 64 bit positions are occupied, the
+// lowest slot whose query is finished (cancelled, or drained with nothing
+// pending) is scrubbed — skyline, regions, payload lineage — and handed to
+// the new query, which gets a fresh report index (ReportIndex; report
+// indices are never reused, so emissions of successive occupants of one
+// slot stay distinct). Only when every slot holds a live query does Admit
+// fail, with ErrQuerySlotsExhausted.
 func (x *Exec) Admit(q workload.Query, estTotal int) (int, error) {
 	st := x.st
 	w := st.w
+	reuse := -1
 	if len(w.Queries) >= workload.MaxQueries {
-		return -1, fmt.Errorf("core: admission would exceed the %d-query limit", workload.MaxQueries)
+		for i := range w.Queries {
+			if st.cancelled.Has(i) || x.QueryDone(i) {
+				reuse = i
+				break
+			}
+		}
+		if reuse < 0 {
+			return -1, ErrQuerySlotsExhausted
+		}
 	}
 	if q.JC < 0 || q.JC >= len(w.JoinConds) {
 		return -1, fmt.Errorf("core: query %s references join condition %d of %d", q.Name, q.JC, len(w.JoinConds))
@@ -142,24 +169,42 @@ func (x *Exec) Admit(q workload.Query, estTotal int) (int, error) {
 		return -1, fmt.Errorf("core: query %s has no contract", q.Name)
 	}
 
-	qi, err := st.shared.AddDynamicQuery(q.Pref)
-	if err != nil {
-		return -1, err
-	}
-	if qi != len(w.Queries) {
-		return -1, fmt.Errorf("core: skyline query index %d out of sync with workload size %d", qi, len(w.Queries))
-	}
-	w.Queries = append(w.Queries, q)
+	var qi int
+	if reuse >= 0 {
+		// The incoming query validated above; only now is the retired
+		// occupant of the reclaimed slot scrubbed.
+		st.retireSlot(reuse, x.Now())
+		if err := st.shared.SetDynamicQuery(reuse, q.Pref); err != nil {
+			return -1, err
+		}
+		qi = reuse
+		w.Queries[qi] = q
+		st.weights[qi] = 1 + q.Priority
+		st.frontierDirty[qi] = true
+		st.qremap[qi] = x.rep.AddQuery(q.Contract.NewTracker(estTotal))
+		st.prefMask[qi] = q.Pref.Mask()
+		st.kerns[qi] = preference.NewKernel(q.Pref)
+	} else {
+		var err error
+		qi, err = st.shared.AddDynamicQuery(q.Pref)
+		if err != nil {
+			return -1, err
+		}
+		if qi != len(w.Queries) {
+			return -1, fmt.Errorf("core: skyline query index %d out of sync with workload size %d", qi, len(w.Queries))
+		}
+		w.Queries = append(w.Queries, q)
 
-	// Per-query executor state, exactly what newState derives per query.
-	st.weights = append(st.weights, 1+q.Priority)
-	st.pending = append(st.pending, nil)
-	st.blocked = append(st.blocked, make(map[int][]int))
-	st.frontier = append(st.frontier, nil)
-	st.frontierDirty = append(st.frontierDirty, true)
-	st.qremap = append(st.qremap, x.rep.AddQuery(q.Contract.NewTracker(estTotal)))
-	st.prefMask = append(st.prefMask, q.Pref.Mask())
-	st.kerns = append(st.kerns, preference.NewKernel(q.Pref))
+		// Per-query executor state, exactly what newState derives per query.
+		st.weights = append(st.weights, 1+q.Priority)
+		st.pending = append(st.pending, nil)
+		st.blocked = append(st.blocked, make(map[int][]int))
+		st.frontier = append(st.frontier, nil)
+		st.frontierDirty = append(st.frontierDirty, true)
+		st.qremap = append(st.qremap, x.rep.AddQuery(q.Contract.NewTracker(estTotal)))
+		st.prefMask = append(st.prefMask, q.Pref.Mask())
+		st.kerns = append(st.kerns, preference.NewKernel(q.Pref))
+	}
 	st.jcQueries[q.JC] = st.jcQueries[q.JC].Add(qi)
 	st.domScratch = nil // re-sized lazily on next use
 
@@ -280,13 +325,59 @@ func (x *Exec) Cancel(qi int) error {
 	return nil
 }
 
+// retireSlot scrubs every trace of the finished query at local index qi so
+// the bit position can be handed to a new occupant: its tracker is
+// finalized (if cancellation didn't already do so), region annotations and
+// payload lineage/emitted bits are cleared — a stale lineage or emitted bit
+// would leak the predecessor's result bookkeeping into the new query — and
+// the shared skyline retires the bit. The slot's report index remains
+// untouched: delivered results and final satisfaction stay in the report.
+func (st *state) retireSlot(qi int, now float64) {
+	bit := skycube.QSet(0).Add(qi)
+	if !st.cancelled.Has(qi) {
+		st.rep.Trackers[st.qremap[qi]].Finalize(now)
+	}
+	st.cancelled &^= bit
+	st.jcQueries[st.w.Queries[qi].JC] &^= bit
+	for ri, r := range st.regions {
+		had := r.Alive.Has(qi)
+		r.Alive &^= bit
+		r.RQL &^= bit
+		if had && r.Alive == 0 && !st.processed[ri] {
+			st.processed[ri] = true
+			st.inQueue[ri] = false
+			st.clock.CountRegionPruned()
+			st.releaseEdges(ri)
+		}
+	}
+	for p := range st.payloads {
+		st.payloads[p].lineage &^= bit
+		st.payloads[p].emitted &^= bit
+	}
+	st.pending[qi] = st.pending[qi][:0]
+	st.blocked[qi] = make(map[int][]int)
+	st.frontier[qi] = nil
+	st.frontierDirty[qi] = false
+	st.shared.RetireQuery(qi)
+}
+
 // Cancelled reports whether a query has been cancelled.
 func (x *Exec) Cancelled(qi int) bool { return x.st.cancelled.Has(qi) }
 
+// ReportIndex returns the report index currently mapped to local query qi.
+func (x *Exec) ReportIndex(qi int) int { return x.st.qremap[qi] }
+
+// NextReportIndex returns the report index the next successful Admit will
+// assign. Sessions use it to register delivery routing before admission,
+// since admission can emit the new query's first results synchronously.
+func (x *Exec) NextReportIndex() int { return len(x.rep.Trackers) }
+
 // QueryDone reports whether a query can receive no further results: it was
 // cancelled, or no live region serves it and no candidate awaits a safety
-// check. Once true it stays true — late admissions only ever revive
-// regions for the admitted query itself.
+// check. For one occupant of a slot, once true it stays true — late
+// admissions only ever revive regions for the admitted query itself; a
+// done slot may however be reclaimed by a later Admit, after which the
+// index refers to the new occupant.
 func (x *Exec) QueryDone(qi int) bool {
 	st := x.st
 	if qi < 0 || qi >= len(st.w.Queries) {

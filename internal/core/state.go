@@ -68,6 +68,10 @@ type state struct {
 	// tuple level, so a region reopened for a late-admitted query never
 	// re-joins (and re-emits) a condition it already produced.
 	joinedJC []uint64
+	// rate measures the processing rate (work units per real second) in
+	// wall-clock mode; untouched in virtual mode, where counted work *is*
+	// the clock.
+	rate rateEstimator
 
 	frontier      [][]frontierCorner // per query: minimal best corners of live regions
 	frontierDirty []bool
@@ -193,6 +197,11 @@ func (st *state) step() bool {
 		st.deferrals = 0
 		st.traceDecision(ri, score)
 
+		var workBefore, wallBefore float64
+		wall := st.clock.Wall()
+		if wall {
+			workBefore, wallBefore = st.clock.WorkUnits(), st.clock.Now()
+		}
 		rc := st.regions[ri]
 		newPayloads := st.processRegion(rc)
 		st.processed[ri] = true
@@ -208,6 +217,10 @@ func (st *state) step() bool {
 		if !st.e.opt.DisableFeedback {
 			st.updateWeights()
 		}
+		if wall {
+			st.rate.observe(st.clock.WorkUnits()-workBefore,
+				(st.clock.Now()-wallBefore)/metrics.VirtualSecond)
+		}
 		return true
 	}
 	return false
@@ -222,6 +235,11 @@ func (st *state) runDataOrder() {
 			continue
 		}
 		st.traceDataOrderDecision(ri)
+		var workBefore, wallBefore float64
+		wall := st.clock.Wall()
+		if wall {
+			workBefore, wallBefore = st.clock.WorkUnits(), st.clock.Now()
+		}
 		newPayloads := st.processRegion(rc)
 		st.processed[ri] = true
 		st.clock.CountRegionDone()
@@ -234,6 +252,10 @@ func (st *state) runDataOrder() {
 		st.emitSafe(rc.Alive | killed)
 		if !st.e.opt.DisableFeedback {
 			st.updateWeights()
+		}
+		if wall {
+			st.rate.observe(st.clock.WorkUnits()-workBefore,
+				(st.clock.Now()-wallBefore)/metrics.VirtualSecond)
 		}
 	}
 	st.flushRemaining()

@@ -22,7 +22,10 @@
 // a serial run that performed the same operations one at a time.
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Cost of each elementary operation in virtual time units. One unit is
 // nominally "one virtual microsecond"; contracts use VirtualSecond.
@@ -107,15 +110,60 @@ func (c *Counters) String() string {
 // worker a private Clock (or Counters) shard and Merge the shards back in a
 // deterministic order.
 type Clock struct {
-	deci     int64 // current time in deci-units (tenths of a virtual unit)
+	deci     int64 // accumulated work in deci-units (tenths of a virtual unit)
 	counters Counters
+
+	// nowNS, when set, switches the clock into wall mode: Now() reads this
+	// monotonic nanosecond source instead of the work accumulator. Counted
+	// work still accumulates in deci (exposed via WorkUnits) so measured
+	// processing rates can be derived, but it no longer defines "now".
+	nowNS func() int64
 }
 
-// NewClock returns a clock at virtual time zero.
+// NewClock returns a virtual clock at time zero.
 func NewClock() *Clock { return &Clock{} }
 
-// Now returns the current virtual time in virtual units.
-func (k *Clock) Now() float64 { return float64(k.deci) / deciPerUnit }
+// NewWallClock returns a clock in wall mode: Now() tracks real elapsed time
+// from this call, scaled so that one VirtualSecond of clock units equals one
+// real second. Contract deadlines expressed in "seconds" therefore become
+// real-time deadlines. Counted work still accumulates (see WorkUnits) and
+// still defines measured processing rates, but it no longer advances Now().
+//
+// A wall clock gives up the determinism contract of the virtual clock: two
+// runs produce different timestamps. Counters remain deterministic.
+func NewWallClock() *Clock {
+	start := time.Now()
+	return NewWallClockFunc(func() int64 { return int64(time.Since(start)) })
+}
+
+// NewWallClockFunc returns a wall-mode clock reading elapsed monotonic
+// nanoseconds from nowNS — the injection point that lets tests drive wall
+// mode deterministically.
+func NewWallClockFunc(nowNS func() int64) *Clock {
+	if nowNS == nil {
+		return NewWallClock()
+	}
+	return &Clock{nowNS: nowNS}
+}
+
+// Wall reports whether the clock is in wall mode.
+func (k *Clock) Wall() bool { return k.nowNS != nil }
+
+// Now returns the current time in virtual units: counted work in virtual
+// mode, elapsed real seconds times VirtualSecond in wall mode. Either way,
+// Now()/VirtualSecond is "seconds" in the sense contracts use.
+func (k *Clock) Now() float64 {
+	if k.nowNS != nil {
+		return float64(k.nowNS()) / 1e9 * VirtualSecond
+	}
+	return float64(k.deci) / deciPerUnit
+}
+
+// WorkUnits returns the accumulated counted work in virtual units,
+// regardless of mode. In virtual mode this equals Now(); in wall mode it is
+// the numerator of the measured processing rate (work units per real
+// second).
+func (k *Clock) WorkUnits() float64 { return float64(k.deci) / deciPerUnit }
 
 // Advance moves the clock forward by d virtual units, rounded to the nearest
 // deci-unit. Negative d is ignored.

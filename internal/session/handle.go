@@ -2,6 +2,7 @@ package session
 
 import (
 	"sync"
+	"time"
 
 	"caqe/internal/run"
 	"caqe/internal/workload"
@@ -188,15 +189,21 @@ func (r *emitRing) reset() {
 // Results call) drains the ring into the public channel and closes it when
 // the query can receive no further results.
 type Handle struct {
-	id      int
-	name    string
-	arrival float64 // virtual seconds at admission (0 for initial queries)
-	bp      Backpressure
+	id        int
+	name      string
+	arrival   float64   // virtual seconds at admission (0 for initial queries)
+	submitted time.Time // real time of submission (time-to-first-result base)
+	bp        Backpressure
 
-	// Executor-owned; query and estTotal only matter while queued.
+	// Executor-owned; query and estTotal only matter while queued. local is
+	// the engine slot currently assigned to the query (-1 while queued, or
+	// after the slot was reclaimed for a later query); repIdx is the
+	// never-reused report index emissions are routed by.
 	local    int
+	repIdx   int
 	query    workload.Query
 	estTotal int
+	ttfr     float64 // real seconds to first result; 0 until one lands
 
 	mu           sync.Mutex
 	st           queryState
@@ -220,18 +227,44 @@ type Handle struct {
 
 func newHandle(id int, name string, bp Backpressure) *Handle {
 	h := &Handle{
-		id:      id,
-		name:    name,
-		bp:      bp,
-		local:   -1,
-		st:      StateQueued,
-		signal:  make(chan struct{}, 1),
-		dropped: make(chan struct{}),
-		discon:  make(chan struct{}),
+		id:        id,
+		name:      name,
+		submitted: time.Now(),
+		bp:        bp,
+		local:     -1,
+		repIdx:    -1,
+		st:        StateQueued,
+		signal:    make(chan struct{}, 1),
+		dropped:   make(chan struct{}),
+		discon:    make(chan struct{}),
 	}
 	h.ring.stride = -1
 	h.ring.limit = bp.HighWater
 	return h
+}
+
+// markFirstResult records the time-to-first-result on the first call and
+// reports whether this call was the first (executor goroutine only).
+func (h *Handle) markFirstResult() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ttfr != 0 {
+		return false
+	}
+	h.ttfr = time.Since(h.submitted).Seconds()
+	if h.ttfr <= 0 {
+		h.ttfr = 1e-9 // clock granularity floor; 0 must keep meaning "none yet"
+	}
+	return true
+}
+
+// TTFRSeconds returns the real time, in seconds, between the query's
+// submission and its first result entering the delivery buffer; 0 until a
+// first result lands.
+func (h *Handle) TTFRSeconds() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ttfr
 }
 
 // ID returns the query's session-wide identifier (its submission order).

@@ -43,9 +43,13 @@ var (
 	// ErrAdmissionFull rejects submissions beyond the configured concurrent
 	// admission cap (HTTP servers map it to 429).
 	ErrAdmissionFull = errors.New("session: concurrent admission limit reached")
-	// ErrSessionFull rejects submissions past the lifetime query-set limit
-	// (workload.MaxQueries; query indices are never reused).
-	ErrSessionFull = errors.New("session: lifetime query limit reached")
+	// ErrSessionFull rejects a submission when every engine query slot holds
+	// a live query, so none can be reclaimed for the new one. Retired slots
+	// (finished or cancelled queries) are recycled, so there is no lifetime
+	// query limit — with MaxConcurrent at or below the engine's
+	// representation limit this is a defensive path (HTTP servers map it to
+	// 409).
+	ErrSessionFull = errors.New("session: all query slots hold live queries")
 	// ErrUnknownQuery is returned for operations on query IDs never issued.
 	ErrUnknownQuery = errors.New("session: unknown query")
 	// ErrOverloaded sheds submissions while the aggregate buffered-emission
@@ -68,9 +72,16 @@ type Config struct {
 	// Engine tunes the underlying CAQE engine.
 	Engine core.Options
 	// MaxConcurrent caps the number of simultaneously open (admitted, not
-	// yet finished) queries; 0 means workload.MaxQueries. It is clamped to
-	// workload.MaxQueries, the representation limit of the engine.
+	// yet finished) queries; 0 means workload.MaxQueries. Values outside
+	// [0, workload.MaxQueries] are rejected by Open — the engine represents
+	// query sets as 64-bit masks, so a larger cap cannot be honored and
+	// silently clamping it would misstate the service limit.
 	MaxConcurrent int
+	// OnFirstResult, when set, is called once per query the moment its
+	// first result enters the delivery buffer, with the session query ID
+	// and the real time elapsed since submission (time-to-first-result).
+	// Called on the executor goroutine: keep it cheap and non-blocking.
+	OnFirstResult func(id int, seconds float64)
 	// Tracer, when set, receives the session's structured execution trace
 	// (it overrides Engine.Tracer).
 	Tracer trace.Tracer
@@ -123,7 +134,8 @@ type Session struct {
 	x        *core.Exec
 	w        *workload.Workload
 	handles  []*Handle // by session query ID (== submission order)
-	byLocal  []*Handle // by engine-local query index
+	byLocal  []*Handle // by engine-local query index (current slot occupant)
+	byReport []*Handle // by report query index (never reused; routes delivery)
 	waiters  []chan struct{}
 }
 
@@ -145,7 +157,11 @@ func Open(cfg Config) (*Session, error) {
 			return nil, fmt.Errorf("session: output dimension %d: %w", i, err)
 		}
 	}
-	if cfg.MaxConcurrent <= 0 || cfg.MaxConcurrent > workload.MaxQueries {
+	if cfg.MaxConcurrent < 0 || cfg.MaxConcurrent > workload.MaxQueries {
+		return nil, fmt.Errorf("session: MaxConcurrent %d outside [0, %d] (0 selects the engine limit)",
+			cfg.MaxConcurrent, workload.MaxQueries)
+	}
+	if cfg.MaxConcurrent == 0 {
 		cfg.MaxConcurrent = workload.MaxQueries
 	}
 	switch cfg.Backpressure.policy() {
@@ -215,7 +231,7 @@ func (s *Session) loop() {
 func (s *Session) sweep() {
 	if s.x != nil {
 		for _, h := range s.byLocal {
-			if h.state() == StateRunning && s.x.QueryDone(h.local) {
+			if h != nil && h.state() == StateRunning && s.x.QueryDone(h.local) {
 				h.finish(StateDone)
 			}
 		}
@@ -310,9 +326,6 @@ func (s *Session) submit(q workload.Query, estTotal int) (*Handle, error) {
 	if s.draining {
 		return nil, ErrDraining
 	}
-	if len(s.handles) >= workload.MaxQueries {
-		return nil, ErrSessionFull
-	}
 	if s.open() >= s.cfg.MaxConcurrent {
 		return nil, ErrAdmissionFull
 	}
@@ -332,23 +345,38 @@ func (s *Session) submit(q workload.Query, estTotal int) (*Handle, error) {
 	}
 
 	// Mid-run admission: anchor the contract at the arrival virtual time.
-	// The handle registers under its (deterministic) local index before
+	// The handle registers under its (deterministic) report index before
 	// Admit runs, because admission itself can emit already-final results
-	// for the new query.
+	// for the new query. The local index is only known afterwards — the
+	// engine recycles retired slots once all 64 are occupied.
 	h.arrival = s.x.Now()
 	q.Contract = contract.Anchored(q.Contract, h.arrival)
-	h.local = len(s.byLocal)
+	h.repIdx = s.x.NextReportIndex()
 	h.setState(StateRunning)
-	s.byLocal = append(s.byLocal, h)
+	for len(s.byReport) <= h.repIdx {
+		s.byReport = append(s.byReport, nil)
+	}
+	s.byReport[h.repIdx] = h
 	local, err := s.x.Admit(q, estTotal)
 	if err != nil {
-		s.byLocal = s.byLocal[:len(s.byLocal)-1]
+		s.byReport[h.repIdx] = nil
+		if errors.Is(err, core.ErrQuerySlotsExhausted) {
+			return nil, ErrSessionFull
+		}
 		return nil, err
 	}
-	if local != h.local {
-		s.byLocal = s.byLocal[:len(s.byLocal)-1]
-		return nil, fmt.Errorf("session: engine assigned query index %d, expected %d", local, h.local)
+	if got := s.x.ReportIndex(local); got != h.repIdx {
+		s.byReport[h.repIdx] = nil
+		return nil, fmt.Errorf("session: engine assigned report index %d, expected %d", got, h.repIdx)
 	}
+	h.local = local
+	for len(s.byLocal) <= local {
+		s.byLocal = append(s.byLocal, nil)
+	}
+	if old := s.byLocal[local]; old != nil && old != h {
+		old.local = -1 // slot reclaimed; the old query's results live on in the report
+	}
+	s.byLocal[local] = h
 	s.handles = append(s.handles, h)
 	return h, nil
 }
@@ -380,27 +408,29 @@ func (s *Session) start() error {
 			continue
 		}
 		h.local = len(w.Queries)
+		h.repIdx = h.local // initial queries: report order is submission order
 		w.Queries = append(w.Queries, h.query)
 		totals = append(totals, h.estTotal)
 		s.byLocal = append(s.byLocal, h)
+		s.byReport = append(s.byReport, h)
 	}
 	if len(w.Queries) == 0 {
-		s.byLocal = nil
+		s.byLocal, s.byReport = nil, nil
 		return nil // nothing to run yet; first Submit triggers the start
 	}
 	eng, err := core.New(w, s.cfg.R, s.cfg.T, s.cfg.Engine)
 	if err != nil {
-		s.byLocal = nil
+		s.byLocal, s.byReport = nil, nil
 		return err
 	}
 	s.w = w
-	s.clock = metrics.NewClock()
+	s.clock = s.cfg.Engine.NewClock()
 	s.rep = run.NewReport("CAQE", w, totals)
 	s.rep.OnEmit = s.deliver
 	s.rep.StartTrace(s.cfg.Engine.Tracer)
 	x, err := eng.StartExec(s.clock, s.rep)
 	if err != nil {
-		s.byLocal = nil
+		s.byLocal, s.byReport = nil, nil
 		return err
 	}
 	s.x = x
@@ -411,10 +441,15 @@ func (s *Session) start() error {
 	return nil
 }
 
-// deliver routes one emission to its query's stream (executor goroutine;
-// report query indices coincide with engine-local ones for session runs).
+// deliver routes one emission to its query's stream (executor goroutine).
+// Emissions carry report query indices, which unlike engine-local slots are
+// never reused — successive occupants of one recycled slot stay distinct.
 func (s *Session) deliver(e run.Emission) {
-	s.byLocal[e.Query].push(e)
+	h := s.byReport[e.Query]
+	if h.markFirstResult() && s.cfg.OnFirstResult != nil {
+		s.cfg.OnFirstResult(h.id, h.TTFRSeconds())
+	}
+	h.push(e)
 }
 
 // Cancel retires a query: queued queries leave the pending workload,
@@ -442,8 +477,10 @@ func (s *Session) cancel(id int) error {
 		h.finish(StateCancelled)
 		return nil
 	}
-	if err := s.x.Cancel(h.local); err != nil {
-		return err
+	if h.local >= 0 {
+		if err := s.x.Cancel(h.local); err != nil {
+			return err
+		}
 	}
 	h.finish(StateCancelled)
 	return nil
@@ -466,16 +503,20 @@ func (s *Session) Query(id int) (*Handle, error) {
 	return h, nil
 }
 
-// QueryStats is one query's row in a Stats snapshot.
+// QueryStats is one query's row in a Stats snapshot. Buffered and Coalesced
+// are always present — a zero is as load-bearing as any other value, since
+// consumers verify the delivery invariant delivered + Σlag == emissions
+// from these fields.
 type QueryStats struct {
 	ID           int     `json:"id"`
 	Name         string  `json:"name"`
 	State        string  `json:"state"`
-	Arrival      float64 `json:"arrival"`             // virtual seconds at admission
-	Delivered    int     `json:"delivered"`           // results streamed so far
-	Satisfaction float64 `json:"satisfaction"`        // contract satisfaction so far
-	Buffered     int     `json:"buffered,omitempty"`  // emissions awaiting the consumer
-	Coalesced    int64   `json:"coalesced,omitempty"` // emissions dropped from the stream
+	Arrival      float64 `json:"arrival"`      // virtual seconds at admission
+	Delivered    int     `json:"delivered"`    // results streamed so far
+	Satisfaction float64 `json:"satisfaction"` // contract satisfaction so far
+	Buffered     int     `json:"buffered"`     // emissions awaiting the consumer
+	Coalesced    int64   `json:"coalesced"`    // emissions dropped from the stream
+	TTFRSeconds  float64 `json:"ttfrSeconds"`  // real seconds to first result (0 until one lands)
 }
 
 // DeliveryStats aggregates the delivery pipeline across every handle.
@@ -524,16 +565,17 @@ func (s *Session) stats() Stats {
 	for _, h := range s.handles {
 		ss := h.StreamStats()
 		qs := QueryStats{
-			ID:        h.id,
-			Name:      h.name,
-			State:     h.State(),
-			Arrival:   h.arrival,
-			Buffered:  ss.Buffered,
-			Coalesced: ss.Coalesced,
+			ID:          h.id,
+			Name:        h.name,
+			State:       h.State(),
+			Arrival:     h.arrival,
+			Buffered:    ss.Buffered,
+			Coalesced:   ss.Coalesced,
+			TTFRSeconds: h.TTFRSeconds(),
 		}
-		if h.state() != StateQueued && s.rep != nil && h.local >= 0 && h.local < len(s.rep.Trackers) {
-			qs.Delivered = len(s.rep.PerQuery[h.local])
-			qs.Satisfaction = contract.AvgSatisfaction(s.rep.Trackers[h.local])
+		if h.state() != StateQueued && s.rep != nil && h.repIdx >= 0 && h.repIdx < len(s.rep.Trackers) {
+			qs.Delivered = len(s.rep.PerQuery[h.repIdx])
+			qs.Satisfaction = contract.AvgSatisfaction(s.rep.Trackers[h.repIdx])
 		}
 		st.Queries = append(st.Queries, qs)
 

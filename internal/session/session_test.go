@@ -307,27 +307,84 @@ func TestSessionAdmissionCap(t *testing.T) {
 	}
 }
 
-// TestSessionLifetimeCap fills the 64-query lifetime budget and checks the
-// typed rejection.
-func TestSessionLifetimeCap(t *testing.T) {
+// TestSessionLifetimeCapLifted runs far more query lifecycles through one
+// session than the 64-slot representation limit: retired slots must be
+// reclaimed (no ErrSessionFull), and a query admitted after heavy slot
+// turnover must still produce exactly the batch result set.
+func TestSessionLifetimeCapLifted(t *testing.T) {
 	const dims = 4
 	w := testWorkload(t, 2, dims)
 	r, tt := testData(t, 40, dims, 19)
+	ref := batchReference(t, w, r, tt)
 	s := openFrom(t, w, r, tt, 0)
 	defer s.Close()
 
+	// Start execution with one resident query so every later submission
+	// exercises the engine's mid-run admission (and, past 64, slot reuse).
+	if _, err := s.Submit(w.Queries[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
 	q := w.Queries[0]
-	for i := 0; i < workload.MaxQueries; i++ {
-		if _, err := s.Submit(q, 0); err != nil {
+	const lifecycles = workload.MaxQueries + 16
+	for i := 1; i <= lifecycles; i++ {
+		h, err := s.Submit(q, 0)
+		if err != nil {
 			t.Fatalf("submission %d: %v", i, err)
 		}
-		// Cancel immediately so the concurrent cap never binds.
-		if err := s.Cancel(i); err != nil {
+		// Cancel immediately so the concurrent cap never binds and the slot
+		// retires for the next lifecycle.
+		if err := s.Cancel(h.ID()); err != nil {
 			t.Fatalf("cancel %d: %v", i, err)
 		}
 	}
-	if _, err := s.Submit(q, 0); !errors.Is(err, ErrSessionFull) {
-		t.Errorf("submission past lifetime cap: %v", err)
+
+	// Past the old lifetime cap: a fresh query on a recycled slot must run
+	// to completion with the correct (batch-identical) result set.
+	h, err := s.Submit(w.Queries[1], 0)
+	if err != nil {
+		t.Fatalf("submission past the old cap: %v", err)
+	}
+	got := 0
+	for range h.Results() {
+		got++
+	}
+	if h.State() != string(StateDone) {
+		t.Errorf("post-cap query state %s", h.State())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if want := 1 + lifecycles + 1; len(rep.Trackers) != want {
+		t.Errorf("report tracks %d queries, want %d", len(rep.Trackers), want)
+	}
+	sameResultSetsAt(t, "post-cap admission", rep, h.repIdx, ref, 1)
+	if want := len(ref.ResultSet(1)); got != want {
+		t.Errorf("streamed %d results, result set has %d", got, want)
+	}
+}
+
+// TestSessionMaxConcurrentValidation: values outside the engine's
+// representation limit are rejected at Open, not silently clamped.
+func TestSessionMaxConcurrentValidation(t *testing.T) {
+	const dims = 4
+	w := testWorkload(t, 2, dims)
+	r, tt := testData(t, 20, dims, 19)
+	for _, bad := range []int{-1, workload.MaxQueries + 1, 1000} {
+		if _, err := Open(Config{
+			R: r, T: tt, JoinConds: w.JoinConds, OutDims: w.OutDims,
+			Engine: core.Options{Workers: 1}, MaxConcurrent: bad,
+		}); err == nil {
+			t.Errorf("MaxConcurrent %d accepted", bad)
+		}
+	}
+	s := openFrom(t, w, r, tt, workload.MaxQueries)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,42 @@
+package session
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestQueryStatsJSONRoundTrip pins the wire shape of per-query stats:
+// buffered and coalesced serialize even at zero (clients distinguish "no
+// backlog" from "field absent"), and a marshal/unmarshal cycle is
+// lossless.
+func TestQueryStatsJSONRoundTrip(t *testing.T) {
+	zero := QueryStats{ID: 3, Name: "q", State: "running"}
+	b, err := json.Marshal(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"buffered":0`, `"coalesced":0`, `"ttfrSeconds":0`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("zero-valued %s missing from %s", key, b)
+		}
+	}
+
+	full := QueryStats{
+		ID: 7, Name: "beta", State: "lagging", Arrival: 1.5,
+		Delivered: 42, Satisfaction: 0.875, Buffered: 9, Coalesced: 3,
+		TTFRSeconds: 0.0125,
+	}
+	b, err = json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back QueryStats
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, back) {
+		t.Errorf("round trip lost data:\n%+v\n%+v", full, back)
+	}
+}

@@ -75,3 +75,119 @@ func (s *SharedSkyline) InsertForQuery(payload, qi int) bool {
 // NumQueries returns the number of queries the shared skyline currently
 // serves, including dynamically added ones.
 func (s *SharedSkyline) NumQueries() int { return len(s.prefSN) }
+
+// RetireQuery scrubs every trace of query qi from the shared skyline so its
+// bit position can be handed to a new query (SetDynamicQuery): the engine
+// half of lifting the session-lifetime query cap. At every node serving qi
+// the bit is cleared from the node's QServe set and from each window
+// entry's lineage and alive sets — a stale lineage bit would otherwise let
+// old points interact with the slot's next occupant. A node left serving no
+// query at all is reset wholesale and, if it is a dedicated dynamic node,
+// recycled through the node freelist.
+//
+// The caller guarantees the query is finished (cancelled or drained);
+// results it already received are untouched — they live in the report, not
+// here.
+func (s *SharedSkyline) RetireQuery(qi int) {
+	if qi < 0 || qi >= len(s.prefSN) {
+		return
+	}
+	bit := QSet(0).Add(qi)
+	ncuboid := len(s.cuboid.Nodes)
+	for _, sn := range s.nodes {
+		if !sn.qserve.Has(qi) {
+			continue
+		}
+		sn.qserve &^= bit
+		if sn.qserve == 0 {
+			s.resetNode(sn)
+			if sn.idx >= ncuboid {
+				s.freeNodes = append(s.freeNodes, sn)
+			}
+			continue
+		}
+		// Shared cuboid node: scrub the bit entry by entry. Entries dead for
+		// all remaining queries are retired exactly like KillForQueries does.
+		for _, e := range sn.window {
+			if e.alive == 0 {
+				continue
+			}
+			e.lineage &^= bit
+			e.alive &^= bit
+			if e.alive == 0 {
+				sn.members[e.payload] = nil
+				if s.useMasks {
+					b := uint64(1) << uint(sn.idx)
+					s.memberBits[e.payload] &^= b
+					s.cleanBits[e.payload] &^= b
+				}
+				sn.dead++
+			}
+		}
+		if sn.dead >= compactionSlack && sn.dead*2 >= len(sn.window) {
+			s.compact(sn)
+		}
+	}
+	s.prefSN[qi] = nil
+}
+
+// resetNode empties a node: every window entry is recycled, memberships and
+// payload-mask bits are cleared. The node keeps its slot in s.nodes (masks
+// and iteration stay index-stable) but holds no state.
+func (s *SharedSkyline) resetNode(sn *sharedNode) {
+	b := uint64(1) << uint(sn.idx)
+	for _, e := range sn.window {
+		if e.alive != 0 && sn.memberAt(e.payload) == e {
+			sn.members[e.payload] = nil
+			if s.useMasks {
+				s.memberBits[e.payload] &^= b
+				s.cleanBits[e.payload] &^= b
+			}
+		}
+		s.free = append(s.free, e)
+	}
+	sn.window = sn.window[:0]
+	sn.dead = 0
+}
+
+// SetDynamicQuery installs a new query at a previously retired bit position
+// qi (the counterpart of AddDynamicQuery for slot reuse). The query gets a
+// dedicated window node — a recycled one when a retired dynamic node is
+// available, otherwise a fresh append — with the same no-sharing semantics
+// as AddDynamicQuery. The slot must have been cleared by RetireQuery.
+func (s *SharedSkyline) SetDynamicQuery(qi int, pref preference.Subspace) error {
+	if qi < 0 || qi >= len(s.prefSN) {
+		return fmt.Errorf("skycube: dynamic slot %d out of range [0,%d)", qi, len(s.prefSN))
+	}
+	if s.prefSN[qi] != nil {
+		return fmt.Errorf("skycube: dynamic slot %d still serves a query", qi)
+	}
+	if len(pref) == 0 {
+		return fmt.Errorf("skycube: dynamic query with empty preference")
+	}
+	var sn *sharedNode
+	if n := len(s.freeNodes); n > 0 {
+		sn = s.freeNodes[n-1]
+		s.freeNodes = s.freeNodes[:n-1]
+		sn.sub = append(preference.Subspace(nil), pref...)
+		sn.kern = preference.NewKernel(pref)
+		sn.qserve = QSet(0).Add(qi)
+	} else {
+		sn = &sharedNode{
+			idx:    len(s.nodes),
+			sub:    append(preference.Subspace(nil), pref...),
+			kern:   preference.NewKernel(pref),
+			qserve: QSet(0).Add(qi),
+			window: make([]*sharedEntry, 0, windowPresize),
+		}
+		s.nodes = append(s.nodes, sn)
+		if len(s.nodes) > 64 {
+			s.useMasks = false
+		}
+	}
+	s.prefSN[qi] = sn
+	if s.clock != nil {
+		s.clock.CountCuboidSubspace(1)
+	}
+	return nil
+}

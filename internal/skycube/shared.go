@@ -49,6 +49,14 @@ type SharedSkyline struct {
 	points *preference.FlatPoints // payload-indexed coordinate arena (sized at first Insert)
 	free   []*sharedEntry         // recycled window entries
 
+	// freeNodes holds dedicated dynamic-query nodes whose query retired;
+	// SetDynamicQuery re-keys one of these before appending a fresh node, so
+	// long sessions with query turnover keep the node count (and the
+	// payload-mask fast path) bounded. Only dynamic nodes are ever recycled:
+	// cuboid nodes are lattice children of other nodes and must keep their
+	// subspace.
+	freeNodes []*sharedNode
+
 	// Per-payload bitmasks over node indices, maintained iff the plan has at
 	// most 64 nodes (childProtects falls back to the member scan otherwise):
 	// memberBits[p] bit n ⇔ p is a live member at node n; cleanBits[p] bit n
