@@ -237,20 +237,6 @@ func Run(w *Workload, r, t *Relation, opts ...RunOption) (*Report, error) {
 	return eng.ExecuteRun(cfg.Totals, cfg.OnEmit)
 }
 
-// RunWithTotals is Run with explicit per-query result cardinalities.
-//
-// Deprecated: use Run with WithTotals.
-func RunWithTotals(w *Workload, r, t *Relation, opt Options, estTotals []int) (*Report, error) {
-	return Run(w, r, t, opt, WithTotals(estTotals))
-}
-
-// RunProgressive is Run with explicit totals and a consumption hook.
-//
-// Deprecated: use Run with WithTotals and WithOnEmit.
-func RunProgressive(w *Workload, r, t *Relation, opt Options, estTotals []int, onEmit func(Emission)) (*Report, error) {
-	return Run(w, r, t, opt, WithTotals(estTotals), WithOnEmit(onEmit))
-}
-
 // StrategyName identifies one execution strategy runnable by RunStrategy.
 type StrategyName string
 
@@ -314,14 +300,6 @@ func RunStrategy(name StrategyName, w *Workload, r, t *Relation, opts ...RunOpti
 	return nil, fmt.Errorf("caqe: unknown strategy %q (have %v)", name, StrategyNames())
 }
 
-// RunStrategyWithWorkers is RunStrategy with an explicit join worker pool
-// size and explicit totals.
-//
-// Deprecated: use RunStrategy with WithTotals and WithWorkers.
-func RunStrategyWithWorkers(name string, w *Workload, r, t *Relation, estTotals []int, workers int) (*Report, error) {
-	return RunStrategy(StrategyName(name), w, r, t, WithTotals(estTotals), WithWorkers(workers))
-}
-
 // GroundTruth computes the exact final result cardinality of every query
 // (for cardinality-based contracts and verification) using an unmetered
 // full evaluation.
@@ -375,14 +353,52 @@ type (
 	TopKOptions = topk.Options
 )
 
-// RunTopK executes a top-k workload with contract-driven scheduling.
-func RunTopK(w *TopKWorkload, r, t *Relation, opt TopKOptions, estTotals []int) (*Report, error) {
-	return topk.Run(w, r, t, opt, estTotals)
+// RunTopK executes a top-k workload with contract-driven scheduling. It
+// accepts the same options as Run; of a bare Options value the top-k
+// engine honors the granularity knobs (TargetCells, GridResolution,
+// Workers), DataOrderScheduling and the tracer.
+//
+//	rep, err := caqe.RunTopK(w, carriers, lanes,
+//	    caqe.WithTotals(totals), caqe.WithWorkers(1))
+func RunTopK(w *TopKWorkload, r, t *Relation, opts ...RunOption) (*Report, error) {
+	cfg := core.NewRunConfig(opts...)
+	return topk.Run(w, r, t, topkOptions(cfg), cfg.Totals)
 }
 
 // RunTopKSequential is the unshared, blocking per-query baseline for the
-// top-k extension.
-func RunTopKSequential(w *TopKWorkload, r, t *Relation, estTotals []int) (*Report, error) {
+// top-k extension. It accepts the same options as RunTopK; the engine
+// knobs are ignored (the baseline has no shared plan), while WithTotals
+// and WithTracer apply.
+func RunTopKSequential(w *TopKWorkload, r, t *Relation, opts ...RunOption) (*Report, error) {
+	cfg := core.NewRunConfig(opts...)
+	return topk.SequentialTraced(w, r, t, cfg.Totals, cfg.Opt.Tracer)
+}
+
+// topkOptions maps a resolved run configuration onto the top-k engine's
+// options (DataOrderScheduling selects the blind pipeline order there too).
+func topkOptions(cfg core.RunConfig) TopKOptions {
+	return TopKOptions{
+		TargetCells:    cfg.Opt.TargetCells,
+		GridResolution: cfg.Opt.GridResolution,
+		Workers:        cfg.Opt.Workers,
+		DataOrder:      cfg.Opt.DataOrderScheduling,
+		Tracer:         cfg.Opt.Tracer,
+	}
+}
+
+// RunTopKWithOptions is RunTopK with the top-k engine's struct options and
+// explicit totals.
+//
+// Deprecated: use RunTopK with a bare Options value (or WithWorkers /
+// WithTracer) and WithTotals; DataOrder is Options.DataOrderScheduling.
+func RunTopKWithOptions(w *TopKWorkload, r, t *Relation, opt TopKOptions, estTotals []int) (*Report, error) {
+	return topk.Run(w, r, t, opt, estTotals)
+}
+
+// RunTopKSequentialWithTotals is RunTopKSequential with explicit totals.
+//
+// Deprecated: use RunTopKSequential with WithTotals.
+func RunTopKSequentialWithTotals(w *TopKWorkload, r, t *Relation, estTotals []int) (*Report, error) {
 	return topk.Sequential(w, r, t, estTotals)
 }
 

@@ -200,11 +200,11 @@ func TestRunTopKPublic(t *testing.T) {
 				Contract: caqe.Deadline(60)},
 		},
 	}
-	rep, err := caqe.RunTopK(w, r, tt, caqe.TopKOptions{}, nil)
+	rep, err := caqe.RunTopK(w, r, tt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := caqe.RunTopKSequential(w, r, tt, nil)
+	seq, err := caqe.RunTopKSequential(w, r, tt)
 	if err != nil {
 		t.Fatal(err)
 	}

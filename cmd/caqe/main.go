@@ -7,14 +7,19 @@
 //	caqe [-n rows] [-queries k] [-dims d] [-dist independent|correlated|anti]
 //	     [-sel σ] [-contract C1|C2|C3|C4|C5] [-deadline vsec] [-seed s]
 //	     [-strategy CAQE|S-JFSL|JFSL|ProgXe+|SSMJ|all] [-v] [-trace out.jsonl]
+//	     [-explain [-json]]
 //
 // With -v the chosen strategy's emissions are streamed as they happen.
 // With -trace the structured execution trace (scheduling decisions,
 // emission batches, feedback updates) is written as JSON Lines; inspect it
-// with cmd/caqe-trace.
+// with cmd/caqe-trace. With -explain the derived shared plan and the
+// executor's operator tree are printed instead of running (the tree follows
+// -strategy: S-JFSL shows the data-order scheduler variant); -json switches
+// the dump to machine-readable JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,18 +44,19 @@ func main() {
 		seed      = flag.Int64("seed", 1, "dataset seed")
 		strategy  = flag.String("strategy", "all", "strategy to run, or 'all' to compare")
 		verbose   = flag.Bool("v", false, "stream emissions (single strategy only)")
-		explain   = flag.Bool("explain", false, "print the derived shared plan and output space, then exit")
+		explain   = flag.Bool("explain", false, "print the derived shared plan, output space and operator tree, then exit")
+		asJSON    = flag.Bool("json", false, "with -explain: dump the plan as JSON")
 		traceFile = flag.String("trace", "", "write the structured execution trace to this JSONL file")
 	)
 	flag.Parse()
 
-	if err := runCLI(*n, *queries, *dims, *distName, *sel, *class, *deadline, *seed, *strategy, *verbose, *explain, *traceFile); err != nil {
+	if err := runCLI(*n, *queries, *dims, *distName, *sel, *class, *deadline, *seed, *strategy, *verbose, *explain, *asJSON, *traceFile); err != nil {
 		fmt.Fprintf(os.Stderr, "caqe: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func runCLI(n, queries, dims int, distName string, sel float64, class string, deadline float64, seed int64, strategy string, verbose, explain bool, traceFile string) error {
+func runCLI(n, queries, dims int, distName string, sel float64, class string, deadline float64, seed int64, strategy string, verbose, explain, asJSON bool, traceFile string) error {
 	dist, err := datagen.ParseDistribution(distName)
 	if err != nil {
 		return err
@@ -76,11 +82,8 @@ func runCLI(n, queries, dims int, distName string, sel float64, class string, de
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload: %d skyline-over-join queries over %s R,T (N=%d, d=%d, σ=%g), contract %s\n\n",
-		len(w.Queries), dist, n, dims, sel, class)
-
 	if explain {
-		eng, err := core.New(w, r, t, core.Options{})
+		eng, err := core.New(w, r, t, explainOptions(strategy))
 		if err != nil {
 			return err
 		}
@@ -88,9 +91,21 @@ func runCLI(n, queries, dims int, distName string, sel float64, class string, de
 		if err != nil {
 			return err
 		}
+		if asJSON {
+			data, err := json.MarshalIndent(ex, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+			return nil
+		}
+		fmt.Printf("workload: %d skyline-over-join queries over %s R,T (N=%d, d=%d, σ=%g), contract %s\n\n",
+			len(w.Queries), dist, n, dims, sel, class)
 		fmt.Print(ex)
 		return nil
 	}
+	fmt.Printf("workload: %d skyline-over-join queries over %s R,T (N=%d, d=%d, σ=%g), contract %s\n\n",
+		len(w.Queries), dist, n, dims, sel, class)
 
 	tracer, flushTrace, err := openTracer(traceFile)
 	if err != nil {
@@ -112,6 +127,25 @@ func runCLI(n, queries, dims int, distName string, sel float64, class string, de
 			s.Name, rep.AvgSatisfaction(), rep.EndTime, c.JoinResults, c.SkylineCmps, c.TuplesEmitted)
 	}
 	return nil
+}
+
+// explainOptions maps a strategy name onto the core options whose executor
+// shape -explain should describe: S-JFSL is the shared plan driven in data
+// order, ProgXe+ the count-driven scheduler; every other name (including
+// "all") shows the CAQE defaults.
+func explainOptions(strategy string) core.Options {
+	switch strategy {
+	case "S-JFSL":
+		return core.Options{
+			DataOrderScheduling:    true,
+			DisableRegionDiscard:   true,
+			DisableFeedback:        true,
+			DisableDependencyGraph: true,
+		}
+	case "ProgXe+":
+		return core.Options{DisableContractBenefit: true, DisableFeedback: true}
+	}
+	return core.Options{}
 }
 
 // openTracer opens a JSONL trace sink for the given path ("" = tracing

@@ -60,11 +60,11 @@ func main() {
 		},
 	}
 
-	rep, err := caqe.RunTopK(w, carriers, lanes, caqe.TopKOptions{}, nil)
+	rep, err := caqe.RunTopK(w, carriers, lanes)
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq, err := caqe.RunTopKSequential(w, carriers, lanes, nil)
+	seq, err := caqe.RunTopKSequential(w, carriers, lanes)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,34 +4,42 @@ import (
 	"fmt"
 	"strings"
 
+	"caqe/internal/core/op"
 	"caqe/internal/region"
 	"caqe/internal/skycube"
 )
 
-// PlanExplain is a structured description of the derived shared plan and
-// output space, for diagnostics, tooling and tests.
+// PlanExplain is a structured description of the derived shared plan,
+// output space and executor shape, for diagnostics, tooling and tests.
+// The JSON form is what cmd/caqe -explain -json emits.
 type PlanExplain struct {
 	// Cuboid structure.
-	Queries         int
-	CuboidSubspaces int
-	SkycubeSize     int // subspaces serving ≥ 1 query before min-max reduction
-	FullSkycubeSize int // 2^d - 1 over the workload's union of dimensions
-	Levels          []ExplainLevel
+	Queries         int            `json:"queries"`
+	CuboidSubspaces int            `json:"cuboidSubspaces"`
+	SkycubeSize     int            `json:"skycubeSize"`     // subspaces serving ≥ 1 query before min-max reduction
+	FullSkycubeSize int            `json:"fullSkycubeSize"` // 2^d - 1 over the workload's union of dimensions
+	Levels          []ExplainLevel `json:"levels"`
 
 	// Input partitioning.
-	RCells, TCells int
+	RCells int `json:"rCells"`
+	TCells int `json:"tCells"`
 
 	// Output space.
-	CellPairs           int // R-cells × T-cells
-	Regions             int // surviving regions after the coarse join + skyline
-	CoarsePruned        int // cell pairs discarded before tuple-level processing
-	AvgQueriesPerRegion float64
+	CellPairs           int     `json:"cellPairs"`    // R-cells × T-cells
+	Regions             int     `json:"regions"`      // surviving regions after the coarse join + skyline
+	CoarsePruned        int     `json:"coarsePruned"` // cell pairs discarded before tuple-level processing
+	AvgQueriesPerRegion float64 `json:"avgQueriesPerRegion"`
+
+	// Operators is the executor's operator tree for the engine's options:
+	// the scheduler at the root driving the pipeline
+	// PartitionScan → SignatureJoin → DominanceFilter → Emit.
+	Operators op.Node `json:"operators"`
 }
 
 // ExplainLevel summarizes one level of the min-max cuboid.
 type ExplainLevel struct {
-	Level     int
-	Subspaces []string // canonical keys, with the queries each serves
+	Level     int      `json:"level"`
+	Subspaces []string `json:"subspaces"` // canonical keys, with the queries each serves
 }
 
 // Explain derives the shared plan and output space without executing and
@@ -84,7 +92,17 @@ func explain(e *Engine, cuboid *skycube.Cuboid, space *region.Space) *PlanExplai
 	if ex.CoarsePruned < 0 {
 		ex.CoarsePruned = 0
 	}
+	ex.Operators = e.OperatorTree()
 	return ex
+}
+
+// OperatorTree returns the executor's operator tree for the engine's
+// options without deriving the plan: the pipeline is wired exactly as an
+// execution would wire it, but never run.
+func (e *Engine) OperatorTree() op.Node {
+	st := &state{e: e}
+	st.buildPipeline()
+	return st.operatorTree()
 }
 
 // String renders the explanation for terminals.
@@ -98,5 +116,9 @@ func (ex *PlanExplain) String() string {
 	fmt.Fprintf(&b, "output space: %d regions over ~%d×%d joinable cells (%d cell pairs pruned at coarse level)\n",
 		ex.Regions, ex.RCells, ex.TCells, ex.CoarsePruned)
 	fmt.Fprintf(&b, "avg queries served per region: %.2f\n", ex.AvgQueriesPerRegion)
+	b.WriteString("executor:\n")
+	for _, line := range strings.Split(strings.TrimRight(ex.Operators.String(), "\n"), "\n") {
+		fmt.Fprintf(&b, "  %s\n", line)
+	}
 	return b.String()
 }

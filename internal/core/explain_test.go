@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -43,10 +44,70 @@ func TestExplain(t *testing.T) {
 		t.Error("no levels")
 	}
 	s := ex.String()
-	for _, want := range []string{"min-max cuboid", "level 0", "regions"} {
+	for _, want := range []string{"min-max cuboid", "level 0", "regions", "executor:", "CSMScheduler", "PartitionScan"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("rendering missing %q:\n%s", want, s)
 		}
+	}
+}
+
+// TestExplainOperatorTree pins the executor shape the explanation carries:
+// the scheduler at the root (per the engine's options), then the four-stage
+// operator chain — and a JSON round trip, the -explain -json contract.
+func TestExplainOperatorTree(t *testing.T) {
+	w := testWorkload(4, 3, workload.UniformPriority, c3s)
+	r, tt := testPair(t, 100, 3, datagen.Independent, 0.05, 67)
+	for _, tc := range []struct {
+		opt  Options
+		root string
+	}{
+		{Options{}, "CSMScheduler"},
+		{Options{DataOrderScheduling: true}, "DataOrderScheduler"},
+	} {
+		eng, err := New(w, r, tt, tc.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := eng.OperatorTree()
+		if node.Name != tc.root {
+			t.Errorf("root = %s, want %s", node.Name, tc.root)
+		}
+		names := []string{}
+		for n := &node; ; n = &n.Children[0] {
+			names = append(names, n.Name)
+			if len(n.Children) == 0 {
+				break
+			}
+		}
+		want := []string{tc.root, "PartitionScan", "SignatureJoin", "DominanceFilter", "Emit"}
+		if len(names) != len(want) {
+			t.Fatalf("chain %v, want %v", names, want)
+		}
+		for i := range want {
+			if names[i] != want[i] {
+				t.Fatalf("chain %v, want %v", names, want)
+			}
+		}
+	}
+
+	eng, err := New(w, r, tt, Options{TargetCells: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := eng.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PlanExplain
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Operators.Name != "CSMScheduler" || back.Regions != ex.Regions {
+		t.Fatalf("JSON round trip lost structure: %+v", back.Operators)
 	}
 }
 

@@ -1,0 +1,103 @@
+package op
+
+import "caqe/internal/tuple"
+
+// Batch is the unit of handoff between pipeline operators: a header
+// identifying the producing region and join condition, plus — for
+// coordinate batches — the joined tuple provenance and the projected
+// output points packed into one flat, stride-indexed backing array (the
+// memory layout of the PR 2 coordinate arena: row i occupies
+// Coords[i*Stride : (i+1)*Stride]).
+//
+// The three handoffs of the executor use three shapes of the same type:
+//
+//   - scan → join: a header batch carrying the region's quad-tree cell
+//     tuples (Left, Right) and the join condition to test (JC);
+//   - join → dominance: a coordinate batch of materialized join results
+//     (RIDs, TIDs, Coords) with Qmask naming the queries served;
+//   - dominance → emit: a header batch whose Qmask is the set of queries
+//     whose emission frontier may have changed.
+//
+// A Batch obtained from a Pool is valid until returned; its slices are
+// recycled across units, so consumers must not retain them past Push.
+type Batch struct {
+	// Region is the output region (scheduling unit) the batch belongs to.
+	Region int
+	// JC is the join condition index, -1 when not applicable.
+	JC int
+	// Qmask is the query bit set the batch serves (semantics per handoff,
+	// see above).
+	Qmask uint64
+
+	// Left and Right are the region's input cell tuples (scan → join).
+	Left, Right []*tuple.Tuple
+
+	// RIDs and TIDs carry the provenance of row i of a coordinate batch.
+	RIDs, TIDs []int
+	// Stride is the output dimensionality of each coordinate row.
+	Stride int
+	// Coords is the flat row-major coordinate backing.
+	Coords []float64
+}
+
+// Len returns the number of coordinate rows in the batch.
+func (b *Batch) Len() int { return len(b.RIDs) }
+
+// Row returns row i of the coordinate block as a subslice of the flat
+// backing (valid until the batch is reset or recycled).
+func (b *Batch) Row(i int) []float64 {
+	return b.Coords[i*b.Stride : (i+1)*b.Stride]
+}
+
+// Append adds one coordinate row. out must have Stride values; it is
+// copied into the flat backing.
+func (b *Batch) Append(rid, tid int, out []float64) {
+	b.RIDs = append(b.RIDs, rid)
+	b.TIDs = append(b.TIDs, tid)
+	b.Coords = append(b.Coords, out...)
+}
+
+// Reset clears the batch for reuse with the given coordinate stride,
+// truncating the row slices in place (capacity is retained).
+func (b *Batch) Reset(stride int) {
+	b.Region, b.JC, b.Qmask = -1, -1, 0
+	b.Left, b.Right = nil, nil
+	b.RIDs = b.RIDs[:0]
+	b.TIDs = b.TIDs[:0]
+	b.Stride = stride
+	b.Coords = b.Coords[:0]
+}
+
+// Pool is a freelist of batches. Operators Get a batch, fill it, hand it
+// downstream (the handoff is synchronous, so the consumer is done with the
+// batch when Push returns) and Put it back; after warmup the executor's
+// steady state performs zero allocations per handoff.
+//
+// The zero value is ready to use. A Pool is not safe for concurrent use;
+// each pipeline stage owns its own.
+type Pool struct {
+	free []*Batch
+}
+
+// Get returns a reset batch with the given coordinate stride.
+func (p *Pool) Get(stride int) *Batch {
+	n := len(p.free)
+	if n == 0 {
+		b := &Batch{}
+		b.Reset(stride)
+		return b
+	}
+	b := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	b.Reset(stride)
+	return b
+}
+
+// Put returns a batch to the freelist.
+func (p *Pool) Put(b *Batch) {
+	if b == nil {
+		return
+	}
+	p.free = append(p.free, b)
+}

@@ -1,0 +1,136 @@
+// Package op is the operator framework of the pipelined CAQE executor: the
+// region loop of Algorithm 1 restructured as a DAG of small operators —
+// partition scan → signature join → dominance filter → emit — connected by
+// explicit, reusable flat-coordinate batches.
+//
+// The framework is deliberately minimal. An Operator consumes batches
+// pushed by its upstream neighbour and pushes derived batches downstream;
+// a Source additionally generates the batches of one scheduling unit (one
+// output region picked by the contract-driven scheduler). A Pipeline owns
+// the ordered operator chain and drives one unit at a time: it opens every
+// operator, lets the source scan, then closes the chain in pipeline order
+// so each operator can run its per-region epilogue (the dominance filter's
+// region discarding, the emitter's safety sweep) at exactly the point the
+// monolithic loop did.
+//
+// Batch handoff is synchronous and depth-first: a pushed batch is fully
+// consumed downstream before the producer continues, so the order of every
+// counted operation — join probes, skyline comparisons, cell operations —
+// is identical to the pre-pipeline executor and reports stay byte-identical
+// (the determinism contract of DESIGN.md §7). Batches are freelist-recycled
+// through a Pool, so the steady state of the executor allocates nothing per
+// handoff. The structure, not the scheduling, is what changes: per-operator
+// parallelism, operator-level sharding boundaries and new dominance or
+// aggregate operators slot in between the existing stages without touching
+// the scheduler.
+package op
+
+import "strings"
+
+// Operator is one stage of the executor pipeline. Operators are driven by
+// a Pipeline for one scheduling unit (region) at a time: Open resets any
+// per-unit state, Push consumes one batch from upstream (possibly pushing
+// derived batches downstream), and Close runs the stage's per-unit epilogue.
+// Close is cascaded in pipeline order, so an upstream operator's epilogue
+// runs before its downstream neighbour's.
+//
+// Operators are not safe for concurrent use; the executor serializes the
+// whole chain on one goroutine (the parallel worker pool fans out *inside*
+// a stage, never across stages).
+type Operator interface {
+	// Name identifies the operator in traces and explain output.
+	Name() string
+	// Detail describes the operator's configuration for explain output.
+	Detail() string
+	// Open begins one scheduling unit.
+	Open(region int)
+	// Push consumes one batch from the upstream operator.
+	Push(b *Batch)
+	// Close ends the unit; epilogue work (and any final downstream pushes)
+	// happens here.
+	Close(region int)
+}
+
+// Source is the root operator of a pipeline: it generates the batches of
+// one scheduling unit instead of consuming them from an upstream stage.
+type Source interface {
+	Operator
+	// Scan generates and pushes downstream every batch of one unit.
+	Scan(region int)
+}
+
+// Pipeline is an ordered operator chain with a single source. The
+// scheduler drives only the root: Process runs one full scheduling unit
+// through the chain.
+type Pipeline struct {
+	src Source
+	ops []Operator
+}
+
+// NewPipeline assembles a pipeline from the source and its downstream
+// operators in handoff order. The chain's Push wiring (who pushes to whom)
+// belongs to the operators themselves; the pipeline only drives the
+// Open/Scan/Close protocol and describes the shape.
+func NewPipeline(src Source, downstream ...Operator) *Pipeline {
+	return &Pipeline{src: src, ops: append([]Operator{src}, downstream...)}
+}
+
+// Process runs one scheduling unit through the chain: every operator is
+// opened in pipeline order, the source scans (batches flow depth-first
+// through the chain), and every operator is closed in pipeline order.
+func (p *Pipeline) Process(region int) {
+	for _, o := range p.ops {
+		o.Open(region)
+	}
+	p.src.Scan(region)
+	for _, o := range p.ops {
+		o.Close(region)
+	}
+}
+
+// Operators returns the chain in pipeline order (source first).
+func (p *Pipeline) Operators() []Operator { return p.ops }
+
+// Explain returns the chain as a nested operator tree, source outermost.
+func (p *Pipeline) Explain() Node {
+	var node Node
+	for i := len(p.ops) - 1; i >= 0; i-- {
+		n := Node{Name: p.ops[i].Name(), Detail: p.ops[i].Detail()}
+		if node.Name != "" {
+			n.Children = []Node{node}
+		}
+		node = n
+	}
+	return node
+}
+
+// Node is one vertex of an operator tree, the introspectable shape of a
+// pipeline (rendered by explain tooling as text or JSON).
+type Node struct {
+	Name     string `json:"name"`
+	Detail   string `json:"detail,omitempty"`
+	Children []Node `json:"children,omitempty"`
+}
+
+// String renders the tree indented, one operator per line.
+func (n Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n Node) render(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(n.Name)
+	if n.Detail != "" {
+		b.WriteString("  [")
+		b.WriteString(n.Detail)
+		b.WriteString("]")
+	}
+	b.WriteString("\n")
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}

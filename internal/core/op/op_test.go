@@ -1,0 +1,197 @@
+package op
+
+import (
+	"strings"
+	"testing"
+)
+
+// recordOp records the driver protocol it observes so tests can assert the
+// Open → Scan → Close cascade and the depth-first handoff order.
+type recordOp struct {
+	name   string
+	next   Operator
+	log    *[]string
+	onPush func(b *Batch)
+}
+
+func (o *recordOp) Name() string   { return o.name }
+func (o *recordOp) Detail() string { return "detail-" + o.name }
+func (o *recordOp) Open(region int) {
+	*o.log = append(*o.log, o.name+".open")
+}
+func (o *recordOp) Push(b *Batch) {
+	*o.log = append(*o.log, o.name+".push")
+	if o.onPush != nil {
+		o.onPush(b)
+	}
+	if o.next != nil {
+		o.next.Push(b)
+	}
+}
+func (o *recordOp) Close(region int) {
+	*o.log = append(*o.log, o.name+".close")
+}
+
+// recordSource generates n batches per Scan.
+type recordSource struct {
+	recordOp
+	batches int
+}
+
+func (s *recordSource) Scan(region int) {
+	*s.log = append(*s.log, s.name+".scan")
+	for i := 0; i < s.batches; i++ {
+		b := &Batch{Region: region, JC: i}
+		s.next.Push(b)
+	}
+}
+
+func chain(log *[]string, batches int) (*Pipeline, *recordSource, *recordOp, *recordOp) {
+	sink := &recordOp{name: "sink", log: log}
+	mid := &recordOp{name: "mid", log: log, next: sink}
+	src := &recordSource{recordOp: recordOp{name: "src", log: log, next: mid}, batches: batches}
+	return NewPipeline(src, mid, sink), src, mid, sink
+}
+
+// TestPipelineProtocol pins the driver contract: every operator opens in
+// pipeline order, the source scans with batches flowing depth-first through
+// the chain, and every operator closes in pipeline order.
+func TestPipelineProtocol(t *testing.T) {
+	var log []string
+	p, _, _, _ := chain(&log, 2)
+	p.Process(7)
+	want := strings.Join([]string{
+		"src.open", "mid.open", "sink.open",
+		"src.scan",
+		"mid.push", "sink.push",
+		"mid.push", "sink.push",
+		"src.close", "mid.close", "sink.close",
+	}, " ")
+	if got := strings.Join(log, " "); got != want {
+		t.Fatalf("protocol order:\n  want %s\n  got  %s", want, got)
+	}
+}
+
+// TestPipelineBatchHeader checks the scheduling unit propagates to every
+// pushed batch.
+func TestPipelineBatchHeader(t *testing.T) {
+	var log []string
+	p, _, mid, _ := chain(&log, 3)
+	var regions, jcs []int
+	mid.onPush = func(b *Batch) { regions = append(regions, b.Region); jcs = append(jcs, b.JC) }
+	p.Process(42)
+	if len(regions) != 3 {
+		t.Fatalf("saw %d batches, want 3", len(regions))
+	}
+	for i, r := range regions {
+		if r != 42 || jcs[i] != i {
+			t.Fatalf("batch %d header (region %d, jc %d), want (42, %d)", i, r, jcs[i], i)
+		}
+	}
+}
+
+// TestPipelineExplain checks the nested tree mirrors the chain order and
+// carries each operator's name and detail.
+func TestPipelineExplain(t *testing.T) {
+	var log []string
+	p, _, _, _ := chain(&log, 0)
+	n := p.Explain()
+	if n.Name != "src" || n.Detail != "detail-src" {
+		t.Fatalf("root node %+v", n)
+	}
+	if len(n.Children) != 1 || n.Children[0].Name != "mid" {
+		t.Fatalf("root children %+v", n.Children)
+	}
+	leaf := n.Children[0].Children
+	if len(leaf) != 1 || leaf[0].Name != "sink" || len(leaf[0].Children) != 0 {
+		t.Fatalf("leaf %+v", leaf)
+	}
+	s := n.String()
+	for _, want := range []string{"src", "  mid", "    sink", "[detail-mid]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered tree missing %q:\n%s", want, s)
+		}
+	}
+	if got := p.Operators(); len(got) != 3 || got[0].Name() != "src" {
+		t.Fatalf("Operators() = %v", got)
+	}
+}
+
+// TestBatchAppendRow covers the stride-indexed coordinate block.
+func TestBatchAppendRow(t *testing.T) {
+	var b Batch
+	b.Reset(2)
+	b.Region, b.JC, b.Qmask = 5, 1, 0b101
+	b.Append(10, 20, []float64{1, 2})
+	b.Append(11, 21, []float64{3, 4})
+	if b.Len() != 2 {
+		t.Fatalf("len %d", b.Len())
+	}
+	if r := b.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Fatalf("row 1 = %v", r)
+	}
+	if b.RIDs[0] != 10 || b.TIDs[1] != 21 {
+		t.Fatalf("provenance %v %v", b.RIDs, b.TIDs)
+	}
+	b.Reset(2)
+	if b.Len() != 0 || len(b.Coords) != 0 || b.Qmask != 0 || b.Region != -1 {
+		t.Fatalf("reset left state: %+v", b)
+	}
+}
+
+// TestPoolRecycles checks Get after Put returns the same backing batch,
+// reset.
+func TestPoolRecycles(t *testing.T) {
+	var p Pool
+	b := p.Get(3)
+	b.Append(1, 2, []float64{1, 2, 3})
+	p.Put(b)
+	b2 := p.Get(3)
+	if b2 != b {
+		t.Fatal("pool did not recycle the batch")
+	}
+	if b2.Len() != 0 {
+		t.Fatal("recycled batch not reset")
+	}
+	p.Put(nil) // tolerated
+	if got := p.Get(1); got == nil {
+		t.Fatal("nil from pool")
+	}
+}
+
+// TestSteadyStateHandoffZeroAlloc is the allocation contract of the batch
+// handoff: once a batch has grown to its working size, a Get → fill → push
+// → Put cycle allocates nothing.
+func TestSteadyStateHandoffZeroAlloc(t *testing.T) {
+	var pool Pool
+	sink := &countSink{}
+	out := []float64{1, 2, 3, 4}
+	// Warm the freelist to working size.
+	warm := pool.Get(4)
+	for i := 0; i < 64; i++ {
+		warm.Append(i, i, out)
+	}
+	pool.Put(warm)
+
+	if allocs := testing.AllocsPerRun(200, func() {
+		b := pool.Get(4)
+		for i := 0; i < 64; i++ {
+			b.Append(i, i, out)
+		}
+		sink.Push(b)
+		pool.Put(b)
+	}); allocs != 0 {
+		t.Fatalf("steady-state batch handoff allocates %.1f per unit", allocs)
+	}
+	if sink.rows == 0 {
+		t.Fatal("sink saw no rows")
+	}
+}
+
+type countSink struct{ rows int }
+
+func (s *countSink) Push(b *Batch) {
+	for i := 0; i < b.Len(); i++ {
+		s.rows += len(b.Row(i)) / b.Stride
+	}
+}

@@ -51,10 +51,15 @@ type RunOptionFunc func(*RunConfig)
 func (f RunOptionFunc) ApplyRun(c *RunConfig) { f(c) }
 
 // NewRunConfig applies the options in order and resolves the effective
-// tracer into Opt.Tracer.
+// tracer into Opt.Tracer. Nil options are skipped, so call sites migrated
+// from the struct-options signatures that passed a literal nil keep
+// working.
 func NewRunConfig(opts ...RunOption) RunConfig {
 	var cfg RunConfig
 	for _, o := range opts {
+		if o == nil {
+			continue
+		}
 		o.ApplyRun(&cfg)
 	}
 	if cfg.Tracer != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"caqe/internal/core/op"
 	"caqe/internal/join"
 	"caqe/internal/metrics"
 	"caqe/internal/parallel"
@@ -48,6 +49,11 @@ type state struct {
 	indegree []int
 	pq       *csmHeap
 	inQueue  []bool
+
+	// pipe is the operator pipeline (PartitionScan → SignatureJoin →
+	// DominanceFilter → Emit) that performs all per-region work; the
+	// schedulers (step, runDataOrder) only pick regions and drive it.
+	pipe *op.Pipeline
 
 	weights  []float64
 	payloads []payloadInfo
@@ -142,6 +148,7 @@ func newState(e *Engine, clock *metrics.Clock, space *region.Space, shared *skyc
 	}
 	st.jcSigma = estimateSelectivities(e.w.JoinConds, e.r.Len(), e.t.Len(), st)
 	st.buildDepGraph()
+	st.buildPipeline()
 	return st
 }
 
@@ -202,18 +209,7 @@ func (st *state) step() bool {
 		if wall {
 			workBefore, wallBefore = st.clock.WorkUnits(), st.clock.Now()
 		}
-		rc := st.regions[ri]
-		newPayloads := st.processRegion(rc)
-		st.processed[ri] = true
-		st.clock.CountRegionDone()
-		st.markFrontiersDirty(rc.Alive)
-
-		var killed skycube.QSet
-		if !st.e.opt.DisableRegionDiscard {
-			killed = st.discardDominated(rc, newPayloads)
-		}
-		st.releaseEdges(ri)
-		st.emitSafe(rc.Alive | killed)
+		st.pipe.Process(ri)
 		if !st.e.opt.DisableFeedback {
 			st.updateWeights()
 		}
@@ -230,7 +226,7 @@ func (st *state) step() bool {
 // construction order: the S-JFSL behaviour — all of the plan sharing, none
 // of the contract-driven scheduling.
 func (st *state) runDataOrder() {
-	for ri, rc := range st.regions {
+	for ri := range st.regions {
 		if st.processed[ri] {
 			continue
 		}
@@ -240,16 +236,7 @@ func (st *state) runDataOrder() {
 		if wall {
 			workBefore, wallBefore = st.clock.WorkUnits(), st.clock.Now()
 		}
-		newPayloads := st.processRegion(rc)
-		st.processed[ri] = true
-		st.clock.CountRegionDone()
-		st.markFrontiersDirty(rc.Alive)
-
-		var killed skycube.QSet
-		if !st.e.opt.DisableRegionDiscard {
-			killed = st.discardDominated(rc, newPayloads)
-		}
-		st.emitSafe(rc.Alive | killed)
+		st.pipe.Process(ri)
 		if !st.e.opt.DisableFeedback {
 			st.updateWeights()
 		}
@@ -273,43 +260,6 @@ func (st *state) initQueue() {
 			st.inQueue[i] = true
 		}
 	}
-}
-
-// processRegion performs the tuple-level evaluation of §6: join the
-// region's input cells under every relevant join condition, project, and
-// insert each result into the shared min-max cuboid skyline with its cell
-// query lineage. It returns the payload IDs of the generated results.
-//
-// The nested-loop probes fan out over the engine's worker pool; per-worker
-// counter shards are merged back into the clock in (join-condition, shard)
-// order before the serial skyline insertions, so the emitted payload IDs,
-// schedules and timestamps are bit-identical to a 1-worker run.
-func (st *state) processRegion(rc *region.Region) []int {
-	var created []int
-	for j, jc := range st.w.JoinConds {
-		qmask := st.jcQueries[j] & rc.Alive
-		if qmask == 0 || st.joinedJC[rc.ID]&(1<<uint(j)) != 0 {
-			continue
-		}
-		st.joinedJC[rc.ID] |= 1 << uint(j)
-		// The scratch results (and their flat coordinate backing) are only
-		// valid until the next join call, so durable coordinates are read
-		// back from the shared arena after insertion.
-		results := st.js.NestedLoopPool(jc, st.w.OutDims, rc.RCell.Tuples, rc.TCell.Tuples, st.clock, st.pool)
-		for _, res := range results {
-			payload := len(st.payloads)
-			alive := st.shared.Insert(payload, res.Out, qmask)
-			st.payloads = append(st.payloads, payloadInfo{
-				rid: res.RID, tid: res.TID, jc: j, reg: rc.ID,
-				out: st.shared.PointVals(payload), lineage: qmask,
-			})
-			created = append(created, payload)
-			for qi := alive.Next(0); qi >= 0; qi = alive.Next(qi + 1) {
-				st.pending[qi] = append(st.pending[qi], payload)
-			}
-		}
-	}
-	return created
 }
 
 // discardDominated implements the "Discard regions dominated by generated
@@ -660,6 +610,20 @@ func (st *state) traceDefer(ri int, score float64) {
 	ev := st.newEvent(trace.KindDefer)
 	ev.Region = ri
 	ev.CSM = score
+	st.tracer.Trace(ev)
+}
+
+// traceOpBatch records one batch handoff between pipeline operators. The
+// arguments are values the producing operator already has on hand, so a
+// disabled tracer costs only the nil check and no counted work ever runs.
+func (st *state) traceOpBatch(opName string, region, rows int) {
+	if st.tracer == nil {
+		return
+	}
+	ev := st.newEvent(trace.KindOpBatch)
+	ev.Op = opName
+	ev.Region = region
+	ev.Count = rows
 	st.tracer.Trace(ev)
 }
 

@@ -24,6 +24,7 @@ func TestDisabledTracerZeroAlloc(t *testing.T) {
 		st.traceDataOrderDecision(3)
 		st.traceDefer(2, 0.5)
 		st.traceDiscard(4, 1)
+		st.traceOpBatch(opNameSignatureJoin, 3, 64)
 		st.traceFeedback(vs, 0.75, 0.5)
 	}); allocs != 0 {
 		t.Fatalf("disabled-tracer trace helpers allocate %.1f per run", allocs)

@@ -45,6 +45,10 @@ const (
 	// KindDiscard records a region killed for one query by a generated
 	// result (Algorithm 1's region discarding).
 	KindDiscard Kind = "discard"
+	// KindOpBatch records one batch handoff inside the pipelined executor:
+	// operator Op pushed Count rows for region Region. Purely
+	// introspective — batch events never carry counted work.
+	KindOpBatch Kind = "op"
 	// KindEmit records one batch of consecutive result deliveries to a
 	// single query: Count results between virtual times T and TEnd.
 	KindEmit Kind = "emit"
@@ -60,7 +64,7 @@ const (
 // iteration order that metrics exposition and summaries rely on (Snapshot
 // event counts are keyed by Kind in an unordered map).
 func Kinds() []Kind {
-	return []Kind{KindStart, KindDecision, KindDefer, KindDiscard, KindEmit, KindFeedback, KindEnd}
+	return []Kind{KindStart, KindDecision, KindDefer, KindOpBatch, KindDiscard, KindEmit, KindFeedback, KindEnd}
 }
 
 // Event is one structured trace record. Region, Query and RunnerUp use -1
@@ -80,7 +84,8 @@ type Event struct {
 	RunnerUpCSM float64 `json:"runnerUpCsm,omitempty"` // decision: score of the runner-up
 	Frontier    int     `json:"frontier,omitempty"`    // decision: immediate candidates remaining after the pick
 	TEnd        float64 `json:"tEnd,omitempty"`        // emit: virtual time of the batch's last delivery
-	Count       int     `json:"count,omitempty"`       // emit: results delivered in the batch
+	Count       int     `json:"count,omitempty"`       // emit: results delivered in the batch; op: rows in the batch
+	Op          string  `json:"op,omitempty"`          // op: operator that pushed the batch
 
 	Queries []int     `json:"queries,omitempty"` // decision/feedback: affected query indices
 	Weights []float64 `json:"weights,omitempty"` // feedback: new scheduler weights
@@ -132,6 +137,16 @@ func (e Event) Validate() error {
 	case KindDiscard:
 		if e.Region < 0 || e.Query < 0 {
 			return fmt.Errorf("trace: discard needs region and query (got %d, %d)", e.Region, e.Query)
+		}
+	case KindOpBatch:
+		if e.Op == "" {
+			return fmt.Errorf("trace: op batch without operator name")
+		}
+		if e.Region < 0 {
+			return fmt.Errorf("trace: op batch without region")
+		}
+		if e.Count < 0 {
+			return fmt.Errorf("trace: op batch with negative row count %d", e.Count)
 		}
 	case KindEmit:
 		if e.Query < 0 {

@@ -165,56 +165,51 @@ func TestTraceAggregatorIntegration(t *testing.T) {
 }
 
 // TestDeprecatedEntryPointsEquivalent pins the compatibility contract of
-// the API redesign: the deprecated wrappers must produce reports byte-
-// identical to the variadic entry points they forward to.
+// the API redesign: the deprecated struct-options wrappers must produce
+// reports byte-identical to the variadic entry points they forward to.
 func TestDeprecatedEntryPointsEquivalent(t *testing.T) {
-	w := determinismWorkload()
-	r, tt, err := caqe.GeneratePair(300, 3, caqe.AntiCorrelated, []float64{0.05, 0.05}, 5)
+	r, tt, err := caqe.GeneratePair(300, 3, caqe.AntiCorrelated, []float64{0.05}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	totals, err := caqe.GroundTruth(w, r, tt)
-	if err != nil {
-		t.Fatal(err)
+	w := &caqe.TopKWorkload{
+		JoinConds: []caqe.EquiJoin{{Name: "JC1", LeftKey: 0, RightKey: 0}},
+		OutDims:   []caqe.MapFunc{caqe.SumDim("x", 0), caqe.SumDim("y", 1), caqe.SumDim("z", 2)},
+		Queries: []caqe.TopKQuery{
+			{Name: "K1", JC: 0, Weights: []float64{1, 1, 0}, K: 8, Priority: 0.8, Contract: caqe.Deadline(80)},
+			{Name: "K2", JC: 0, Weights: []float64{0, 1, 2}, K: 5, Priority: 0.4, Contract: caqe.LogDecay()},
+		},
 	}
+	totals := []int{8, 5}
 
 	//lint:ignore SA1019 this test pins the deprecated wrappers to the new API
-	oldTot, err := caqe.RunWithTotals(w, r, tt, caqe.Options{}, totals)
+	oldRun, err := caqe.RunTopKWithOptions(w, r, tt, caqe.TopKOptions{Workers: 2, DataOrder: true}, totals)
 	if err != nil {
 		t.Fatal(err)
 	}
-	newTot, err := caqe.Run(w, r, tt, caqe.WithTotals(totals))
+	newRun, err := caqe.RunTopK(w, r, tt,
+		caqe.Options{Workers: 2, DataOrderScheduling: true}, caqe.WithTotals(totals))
 	if err != nil {
 		t.Fatal(err)
 	}
-	requireIdenticalReports(t, oldTot, newTot)
-
-	seen := 0
-	//lint:ignore SA1019 this test pins the deprecated wrappers to the new API
-	oldProg, err := caqe.RunProgressive(w, r, tt, caqe.Options{}, totals, func(caqe.Emission) { seen++ })
-	if err != nil {
-		t.Fatal(err)
-	}
-	requireIdenticalReports(t, oldTot, oldProg)
-	total := 0
-	for _, ems := range oldProg.PerQuery {
-		total += len(ems)
-	}
-	if seen != total {
-		t.Fatalf("progressive hook saw %d of %d emissions", seen, total)
-	}
+	requireIdenticalReports(t, oldRun, newRun)
 
 	//lint:ignore SA1019 this test pins the deprecated wrappers to the new API
-	oldStrat, err := caqe.RunStrategyWithWorkers("S-JFSL", w, r, tt, totals, 2)
+	oldSeq, err := caqe.RunTopKSequentialWithTotals(w, r, tt, totals)
 	if err != nil {
 		t.Fatal(err)
 	}
-	newStrat, err := caqe.RunStrategy(caqe.StrategySJFSL, w, r, tt,
-		caqe.WithTotals(totals), caqe.WithWorkers(2))
+	newSeq, err := caqe.RunTopKSequential(w, r, tt, caqe.WithTotals(totals))
 	if err != nil {
 		t.Fatal(err)
 	}
-	requireIdenticalReports(t, oldStrat, newStrat)
+	requireIdenticalReports(t, oldSeq, newSeq)
+
+	// Legacy struct-options call sites passed nil totals positionally; the
+	// variadic entry points must tolerate a literal nil option.
+	if _, err := caqe.RunTopK(w, r, tt, nil); err != nil {
+		t.Fatalf("nil RunOption rejected: %v", err)
+	}
 }
 
 // TestStrategyNameConstants pins the typed names to the strategy table.
