@@ -14,7 +14,7 @@ test:
 	go test ./...
 
 # Reduced-scale benchmarks for every paper figure plus micro/ablation
-# benches. The raw `go test` output is preserved on stdout/BENCH_results.txt
+# benches. The raw `go test` output is preserved on stdout/BENCH_raw.txt
 # and also distilled into machine-readable BENCH_results.json
 # (name, iterations, ns/op, B/op, allocs/op) for trend tracking.
 #
@@ -22,11 +22,12 @@ test:
 # CI's bench job compares fresh numbers against it (and against the base
 # branch via benchstat). After a deliberate performance change, refresh the
 # baseline by re-running `make bench` on a quiet machine and committing the
-# regenerated BENCH_results.json alongside the change; BENCH_results.txt
-# stays untracked scratch output.
+# regenerated BENCH_results.json alongside the change; BENCH_raw.txt stays
+# untracked scratch output (bench_results.txt is the separate, committed
+# experiment log that README and EXPERIMENTS reference).
 bench:
-	go test -bench=. -benchmem ./... | tee BENCH_results.txt
-	go run ./cmd/benchjson < BENCH_results.txt > BENCH_results.json
+	go test -bench=. -benchmem ./... | tee BENCH_raw.txt
+	go run ./cmd/benchjson < BENCH_raw.txt > BENCH_results.json
 
 # Serving-path load benchmark: a wall-clock caqe-serve instance driven by
 # caqe-loadgen with 1000 concurrent client sessions cycling through mixed

@@ -19,9 +19,19 @@
 // satisfactions across live queries — the quantity CAQE's scheduler
 // maximizes). Results are written as JSON to -out (default stdout).
 //
+// With -target=coordinator the driver points at a scatter–gather
+// coordinator node instead of a single server: the submit and stream wire
+// shapes are identical, merged streams arrive in one burst once every
+// shard's local skyline has been gathered, done records may carry
+// partial=true when a shard failed (counted separately, never fatal), and
+// the /stats scrape records the coordinator's cumulative merge-comparison
+// count in place of the satisfaction pScore (coordinator stats expose
+// merge work, not per-query satisfaction).
+//
 // Usage:
 //
-//	caqe-loadgen [-url http://localhost:8734] [-sessions 1000] [-duration 15s]
+//	caqe-loadgen [-url http://localhost:8734] [-target server|coordinator]
+//	             [-sessions 1000] [-duration 15s]
 //	             [-dims 4] [-keys 2] [-mix softdeadline=0.5,deadline=0.15,logdecay=0.15,ratequota=0.1,hybrid=0.1]
 //	             [-cancel-frac 0.1] [-slow-frac 0.05] [-slow-delay 20ms]
 //	             [-deadline 30] [-seed 1] [-out results.json] [-fail-on-5xx]
@@ -49,6 +59,7 @@ import (
 
 type config struct {
 	URL       string        `json:"url"`
+	Target    string        `json:"target"` // "server" or "coordinator"
 	Sessions  int           `json:"sessions"`
 	Duration  time.Duration `json:"-"`
 	DurSecs   float64       `json:"durationSeconds"`
@@ -66,6 +77,7 @@ type config struct {
 type counters struct {
 	submitted     atomic.Int64
 	completed     atomic.Int64 // streams that reached their done record
+	partials      atomic.Int64 // coordinator done records with partial=true
 	cancelled     atomic.Int64
 	rejected429   atomic.Int64
 	rejected503   atomic.Int64
@@ -188,10 +200,12 @@ type submitReply struct {
 }
 
 // streamProbe distinguishes control records from emissions on the NDJSON
-// stream without decoding full emission payloads.
+// stream without decoding full emission payloads. Partial is only ever set
+// on coordinator done records (a shard failed mid-query).
 type streamProbe struct {
-	Done *bool  `json:"done"`
-	Lag  *int64 `json:"lag"`
+	Done    *bool  `json:"done"`
+	Lag     *int64 `json:"lag"`
+	Partial bool   `json:"partial"`
 }
 
 // statsProbe extracts only the satisfaction figures from /stats.
@@ -203,7 +217,18 @@ type statsProbe struct {
 	} `json:"queries"`
 }
 
-// pScoreSample is one point of the satisfaction trajectory.
+// coordStatsProbe extracts the coordinator's progress figures from /stats;
+// coordinator nodes report scatter/gather/merge work, not satisfactions.
+type coordStatsProbe struct {
+	Open      int   `json:"open"`
+	Submitted int   `json:"submitted"`
+	MergeCmps int64 `json:"mergeCmps"`
+}
+
+// pScoreSample is one point of the satisfaction trajectory. Against a
+// coordinator target the pScore column carries cumulative merge
+// comparisons instead (perSec then reads as merge throughput) and the
+// clock column stays zero.
 type pScoreSample struct {
 	Seconds float64 `json:"t"`       // wall seconds since run start
 	PScore  float64 `json:"pScore"`  // sum of per-query satisfactions in the live window
@@ -227,6 +252,7 @@ type results struct {
 	Config        config         `json:"config"`
 	Submitted     int64          `json:"submitted"`
 	Completed     int64          `json:"completed"`
+	Partials      int64          `json:"partials"` // coordinator target: done with partial=true
 	Cancelled     int64          `json:"cancelled"`
 	Rejected429   int64          `json:"rejected429"`
 	Rejected503   int64          `json:"rejected503"`
@@ -404,6 +430,9 @@ func streamOne(ctx context.Context, cfg config, client *http.Client, qid int,
 		switch {
 		case probe.Done != nil:
 			cnt.completed.Add(1)
+			if probe.Partial {
+				cnt.partials.Add(1)
+			}
 			return
 		case probe.Lag != nil:
 			// Coalesced results; counted server-side, nothing to do here.
@@ -443,7 +472,9 @@ func cancelOne(ctx context.Context, cfg config, client *http.Client, qid int, cn
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode == http.StatusNoContent {
+	// Single-node servers acknowledge cancellation with 204; coordinators
+	// return the query's status document with 200.
+	if resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK {
 		cnt.cancelled.Add(1)
 	} else if resp.StatusCode >= 500 && resp.StatusCode != http.StatusServiceUnavailable {
 		cnt.unexpected5xx.Add(1)
@@ -451,7 +482,9 @@ func cancelOne(ctx context.Context, cfg config, client *http.Client, qid int, cn
 }
 
 // scrapePScore polls /stats once a second, turning per-query satisfactions
-// into the pScore trajectory.
+// into the pScore trajectory. Against a coordinator it scrapes the
+// coordinator progress figures instead: cumulative merge comparisons ride
+// in the pScore column so perSec becomes merge throughput.
 func scrapePScore(ctx context.Context, cfg config, client *http.Client, start time.Time) []pScoreSample {
 	var (
 		out      []pScoreSample
@@ -474,21 +507,31 @@ func scrapePScore(ctx context.Context, cfg config, client *http.Client, start ti
 		if err != nil {
 			continue
 		}
-		var st statsProbe
-		err = json.NewDecoder(resp.Body).Decode(&st)
+		var (
+			score, clock float64
+			open, nq     int
+		)
+		if cfg.Target == "coordinator" {
+			var st coordStatsProbe
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			score, open, nq = float64(st.MergeCmps), st.Open, st.Submitted
+		} else {
+			var st statsProbe
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			for _, q := range st.Queries {
+				score += q.Satisfaction
+			}
+			open, nq, clock = st.Open, len(st.Queries), st.Now
+		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if err != nil || resp.StatusCode != http.StatusOK {
 			continue
 		}
-		var score float64
-		for _, q := range st.Queries {
-			score += q.Satisfaction
-		}
 		wall := time.Since(start).Seconds()
 		sample := pScoreSample{
-			Seconds: wall, PScore: score, Open: st.Open,
-			Clock: st.Now, Queries: len(st.Queries),
+			Seconds: wall, PScore: score, Open: open,
+			Clock: clock, Queries: nq,
 		}
 		if prevWall > 0 && wall > prevWall {
 			sample.PerSec = (score - prev) / (wall - prevWall)
@@ -521,6 +564,7 @@ func summarize(samples []float64) ttfrSummary {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.URL, "url", "http://localhost:8734", "caqe-serve base URL")
+	flag.StringVar(&cfg.Target, "target", "server", "target role: server (single node) or coordinator (scatter-gather front end)")
 	flag.IntVar(&cfg.Sessions, "sessions", 1000, "concurrent client sessions")
 	flag.DurationVar(&cfg.Duration, "duration", 15*time.Second, "run length")
 	flag.IntVar(&cfg.Dims, "dims", 4, "output dimensionality served (must match caqe-serve -dims)")
@@ -545,6 +589,10 @@ func main() {
 	}
 	if cfg.Sessions < 1 || cfg.Keys < 1 || cfg.Dims < 1 {
 		fmt.Fprintln(os.Stderr, "caqe-loadgen: sessions, keys and dims must be positive")
+		os.Exit(2)
+	}
+	if cfg.Target != "server" && cfg.Target != "coordinator" {
+		fmt.Fprintf(os.Stderr, "caqe-loadgen: unknown target %q (server or coordinator)\n", cfg.Target)
 		os.Exit(2)
 	}
 
@@ -586,6 +634,7 @@ func main() {
 		Config:        cfg,
 		Submitted:     cnt.submitted.Load(),
 		Completed:     cnt.completed.Load(),
+		Partials:      cnt.partials.Load(),
 		Cancelled:     cnt.cancelled.Load(),
 		Rejected429:   cnt.rejected429.Load(),
 		Rejected503:   cnt.rejected503.Load(),
@@ -615,8 +664,8 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr,
-		"caqe-loadgen: %d sessions, %.1fs: %d submitted, %d completed, %d cancelled, %d/429 %d/503 %d/409, %d unexpected 5xx, TTFR p50=%.4fs p99=%.4fs p999=%.4fs\n",
-		cfg.Sessions, elapsed, res.Submitted, res.Completed, res.Cancelled,
+		"caqe-loadgen: %d sessions vs %s, %.1fs: %d submitted, %d completed (%d partial), %d cancelled, %d/429 %d/503 %d/409, %d unexpected 5xx, TTFR p50=%.4fs p99=%.4fs p999=%.4fs\n",
+		cfg.Sessions, cfg.Target, elapsed, res.Submitted, res.Completed, res.Partials, res.Cancelled,
 		res.Rejected429, res.Rejected503, res.Rejected409, res.Unexpected5xx,
 		res.TTFR.P50, res.TTFR.P99, res.TTFR.P999)
 	if *failOn5xx && res.Unexpected5xx > 0 {

@@ -1,0 +1,372 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"caqe"
+	"caqe/internal/cluster"
+	"caqe/internal/metrics"
+	"caqe/internal/run"
+)
+
+// coordServer exposes a cluster coordinator over the same endpoint shapes
+// as a single-node server: submissions scatter to every shard, result
+// streams deliver the merged global skyline once the gather and the final
+// dominance-merge pass complete, /stats reports per-shard scatter/gather
+// accounting including partial failures, and /metrics adds the coordinator
+// families (per-shard counters, merge comparisons, gather latency).
+//
+// Unlike a shard stream, a coordinator stream is not progressive: exactness
+// requires every shard's local skyline before the merge, so the stream
+// blocks until the query is done and then delivers the merged set in its
+// deterministic (virtual time, shard id, rid) order. Progressive delivery
+// remains available directly from the shard nodes.
+type coordServer struct {
+	coord      *cluster.Coordinator
+	logger     *log.Logger
+	sm         *serveMetrics
+	retryAfter int
+	draining   atomic.Bool
+}
+
+// coordDaemonConfig carries the coordinator role's flag set: either remote
+// shard URLs (HTTP transport) or a local in-process shard count (fast
+// path), plus the shared dataset parameters both need to derive the
+// topology and the local→global row ID tables.
+type coordDaemonConfig struct {
+	ShardURLs   string // comma-separated base URLs, in shard order
+	LocalShards int    // >0: run the shards in this process instead
+	Partition   string
+
+	N, Dims, Keys        int
+	Dist                 string
+	Sel                  float64
+	Seed                 int64
+	Workers, TargetCells int
+	MaxConcurrent        int
+
+	Retries                                    int
+	RetryBackoff, SubmitTimeout, GatherTimeout time.Duration
+	RetryAfterSeconds                          int
+	Logger                                     *log.Logger
+}
+
+// newCoordinatorDaemon builds the shard transports and the coordinator
+// behind a coordServer.
+func newCoordinatorDaemon(cfg coordDaemonConfig) (*coordServer, error) {
+	var conns []cluster.ShardConn
+	switch {
+	case cfg.LocalShards > 0:
+		m, err := cluster.NewShardMap(cfg.LocalShards, cluster.Strategy(cfg.Partition))
+		if err != nil {
+			return nil, err
+		}
+		r, t, joinConds, outDims, err := buildDataset(cfg.N, cfg.Dims, cfg.Keys, cfg.Dist, cfg.Sel, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		conns, err = cluster.NewInProcShards(cluster.InProcConfig{
+			Map: m, R: r, T: t,
+			JoinConds: joinConds, OutDims: outDims,
+			Engine:        caqe.Options{Workers: cfg.Workers, TargetCells: cfg.TargetCells},
+			MaxConcurrent: cfg.MaxConcurrent,
+		})
+		if err != nil {
+			return nil, err
+		}
+	case cfg.ShardURLs != "":
+		var urls []string
+		for _, u := range strings.Split(cfg.ShardURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("coordinator role: -shards is empty")
+		}
+		// The coordinator derives the same partition tables the shard nodes
+		// derive their slices from — pure topology, no data exchange.
+		var tables [][]int
+		if len(urls) > 1 {
+			m, err := cluster.NewShardMap(len(urls), cluster.Strategy(cfg.Partition))
+			if err != nil {
+				return nil, err
+			}
+			tables = m.Table(cfg.N)
+		}
+		conns = cluster.NewHTTPShards(urls, tables, cfg.Retries, cfg.RetryBackoff, cfg.SubmitTimeout)
+	default:
+		return nil, fmt.Errorf("coordinator role needs -shards=<url,...> or -local-shards=N")
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Conns:         conns,
+		GatherTimeout: cfg.GatherTimeout,
+	})
+	if err != nil {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		return nil, err
+	}
+	return newCoordServer(coord, cfg.RetryAfterSeconds, cfg.Logger), nil
+}
+
+func newCoordServer(coord *cluster.Coordinator, retryAfter int, logger *log.Logger) *coordServer {
+	if logger == nil {
+		logger = log.Default()
+	}
+	if retryAfter <= 0 {
+		retryAfter = 1
+	}
+	return &coordServer{coord: coord, logger: logger, sm: newServeMetrics(), retryAfter: retryAfter}
+}
+
+// drain stops admitting, waits for every in-flight gather, and closes the
+// shard connections.
+func (s *coordServer) drain() {
+	s.draining.Store(true)
+	if err := s.coord.Close(); err != nil {
+		s.logger.Printf("caqe-serve: coordinator drain: %v", err)
+	}
+}
+
+func (s *coordServer) routes() http.Handler {
+	mux := http.NewServeMux()
+	s.route(mux, "POST /queries", s.handleSubmit)
+	s.route(mux, "GET /queries/{id}", s.handleStatus)
+	s.route(mux, "DELETE /queries/{id}", s.handleCancel)
+	s.route(mux, "GET /queries/{id}/results", s.handleResults)
+	s.route(mux, "GET /stats", s.handleStats)
+	s.route(mux, "GET /healthz", s.handleHealthz)
+	s.route(mux, "GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *coordServer) route(mux *http.ServeMux, pattern string, fn http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		fn(sw, r)
+		s.sm.observeRequest(pattern, sw.code, time.Since(start))
+	})
+}
+
+func (s *coordServer) fail(w http.ResponseWriter, status int, err error) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter))
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// coordErrStatus maps coordinator submission errors: a draining or
+// all-shards-down cluster is temporarily unavailable, anything else is a
+// bad submission.
+func coordErrStatus(err error) int {
+	switch {
+	case errors.Is(err, cluster.ErrCoordinatorClosed), errors.Is(err, cluster.ErrScatterFailed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *coordServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	h, err := s.coord.Submit(req)
+	if err != nil {
+		status := coordErrStatus(err)
+		if status == http.StatusServiceUnavailable {
+			s.logger.Printf("caqe-serve: coordinator rejecting %q: %v", req.Name, err)
+		}
+		s.fail(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, queryResponse{ID: h.ID(), Name: h.Name(), State: h.State()})
+}
+
+func (s *coordServer) lookup(w http.ResponseWriter, r *http.Request) (*cluster.Handle, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad query id %q", r.PathValue("id")))
+		return nil, false
+	}
+	h, ok := s.coord.Query(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown query %d", id))
+		return nil, false
+	}
+	return h, true
+}
+
+// coordQueryStatus is the GET /queries/{id} body on a coordinator.
+type coordQueryStatus struct {
+	ID           int    `json:"id"`
+	Name         string `json:"name"`
+	State        string `json:"state"`
+	Results      int    `json:"results"`
+	FailedShards []int  `json:"failedShards,omitempty"`
+}
+
+func (s *coordServer) status(h *cluster.Handle) coordQueryStatus {
+	results, _, failed := h.Results()
+	return coordQueryStatus{
+		ID: h.ID(), Name: h.Name(), State: h.State(),
+		Results: len(results), FailedShards: failed,
+	}
+}
+
+func (s *coordServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(h))
+}
+
+func (s *coordServer) handleCancel(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	h.Cancel()
+	writeJSON(w, http.StatusOK, s.status(h))
+}
+
+// coordEmission is one merged result line: the shard-local emission
+// (capitalized run.Emission fields, matching shard streams) tagged with its
+// source shard.
+type coordEmission struct {
+	run.Emission
+	Shard int `json:"shard"`
+}
+
+// coordStreamEnd closes a merged result stream.
+type coordStreamEnd struct {
+	Done         bool   `json:"done"`
+	State        string `json:"state"`
+	Partial      bool   `json:"partial,omitempty"`
+	FailedShards []int  `json:"failedShards,omitempty"`
+	Results      int    `json:"results"`
+	MergeCmps    int64  `json:"mergeCmps"`
+}
+
+// handleResults streams the merged global result set as NDJSON. The
+// response blocks until the gather and merge complete (exactness needs
+// every local skyline), then delivers every merged emission — tagged with
+// its source shard — followed by a done record carrying the partial flag
+// and any failed shards.
+func (s *coordServer) handleResults(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-h.Done():
+	case <-r.Context().Done():
+		return
+	}
+	results, mst, failed := h.Results()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, c := range results {
+		if err := enc.Encode(coordEmission{Emission: c.Emission, Shard: c.Shard}); err != nil {
+			s.sm.encodeErrors.Add(1)
+			return
+		}
+	}
+	end := coordStreamEnd{
+		Done: true, State: h.State(),
+		Partial: len(failed) > 0, FailedShards: failed,
+		Results: len(results), MergeCmps: mst.Cmps,
+	}
+	if err := enc.Encode(end); err != nil {
+		s.sm.encodeErrors.Add(1)
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *coordServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.coord.Stats())
+}
+
+func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.fail(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// coordFamilies renders the coordinator metric families: per-shard
+// scatter/gather/failure/retry counters, the merge-comparison counter, and
+// the gather-latency histogram.
+func (s *coordServer) coordFamilies() []metrics.PromFamily {
+	st := s.coord.Stats()
+	perShard := func(name, help string, v func(cluster.ShardStat) int64) metrics.PromFamily {
+		f := metrics.PromFamily{Name: name, Help: help, Kind: metrics.PromCounter}
+		for _, ss := range st.Shards {
+			f.Samples = append(f.Samples, metrics.PromSample{
+				Labels: []metrics.PromLabel{{Name: "shard", Value: strconv.Itoa(ss.Shard)}},
+				Value:  float64(v(ss)),
+			})
+		}
+		return f
+	}
+	fams := []metrics.PromFamily{
+		gaugeFamily("caqe_coordinator_shards", "Shards in the cluster topology.", float64(len(st.Shards))),
+		gaugeFamily("caqe_coordinator_draining", "Whether the coordinator is draining for shutdown.", boolGauge(st.Draining)),
+		counterFamily("caqe_coordinator_queries_submitted_total", "Queries scattered over the coordinator lifetime.", int64(st.Submitted)),
+		gaugeFamily("caqe_coordinator_open_queries", "Queries still gathering.", float64(st.Open)),
+		counterFamily("caqe_coordinator_partials_total", "Queries completed with at least one failed shard.", st.Partials),
+		perShard("caqe_shard_scatter_total", "Submissions accepted per shard.", func(ss cluster.ShardStat) int64 { return ss.Scattered }),
+		perShard("caqe_shard_gathered_total", "Emissions gathered per shard.", func(ss cluster.ShardStat) int64 { return ss.Gathered }),
+		perShard("caqe_shard_failures_total", "Scatter or gather failures per shard.", func(ss cluster.ShardStat) int64 { return ss.Failures }),
+		perShard("caqe_shard_retries_total", "Transport submit retries per shard.", func(ss cluster.ShardStat) int64 { return ss.Retries }),
+		counterFamily("caqe_shard_merge_cmp_total",
+			"Dominance comparisons charged at the coordinator by the final merge pass.", st.MergeCmps),
+		s.coord.GatherSeconds().Family("caqe_gather_duration_seconds",
+			"Wall time from scatter acceptance to merged result set, per query."),
+	}
+
+	states := map[string]int{"running": 0, "done": 0, "partial": 0, "cancelled": 0}
+	for _, q := range st.Queries {
+		states[q.State]++
+	}
+	byState := metrics.PromFamily{
+		Name: "caqe_coordinator_queries",
+		Help: "Coordinated queries by lifecycle state.",
+		Kind: metrics.PromGauge,
+	}
+	for _, name := range []string{"cancelled", "done", "partial", "running"} {
+		byState.Samples = append(byState.Samples, metrics.PromSample{
+			Labels: []metrics.PromLabel{{Name: "state", Value: name}},
+			Value:  float64(states[name]),
+		})
+	}
+	return append(fams, byState)
+}
+
+func (s *coordServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	fams := append(s.sm.families(), s.coordFamilies()...)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := metrics.WriteProm(w, fams); err != nil {
+		s.logger.Printf("caqe-serve: metrics exposition: %v", err)
+	}
+}

@@ -94,16 +94,56 @@ func main() {
 
 		readHeader = flag.Duration("read-header-timeout", 5*time.Second, "deadline for reading a request's headers")
 		idle       = flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
+
+		role       = flag.String("role", "server", "server (single node), shard (serve one partition of R), or coordinator (scatter/gather across shard nodes)")
+		shardIndex = flag.Int("shard-index", 0, "shard role: this node's shard id in [0, shard-count)")
+		shardCount = flag.Int("shard-count", 1, "shard role: total shards in the cluster topology")
+		partition  = flag.String("partition", "range", "R partition strategy for shard and coordinator roles: range or hash (must match cluster-wide)")
+
+		shardURLs     = flag.String("shards", "", "coordinator: comma-separated shard node base URLs, in shard order")
+		localShards   = flag.Int("local-shards", 0, "coordinator: run N in-process shards instead of remote nodes (fast path, one binary)")
+		shardRetries  = flag.Int("shard-retries", 2, "coordinator: extra submission attempts per shard on retryable failure (429/5xx/timeout)")
+		shardBackoff  = flag.Duration("shard-retry-backoff", 100*time.Millisecond, "coordinator: pause between shard submission attempts")
+		shardTimeout  = flag.Duration("shard-timeout", 5*time.Second, "coordinator: per-attempt shard submission deadline")
+		gatherTimeout = flag.Duration("gather-timeout", 0, "coordinator: bound on each query's gather phase (0 = none)")
 	)
 	flag.Parse()
 
-	srv, err := newServer(serverConfig{
-		N: *n, Dims: *dims, Dist: *dist, Sel: *sel, Keys: *keys, Seed: *seed,
-		MaxConcurrent: *maxConc, Workers: *workers, TargetCells: *cells,
-		Clock: *clock, RetryAfterSeconds: *retryAfter,
-		MaxBuffered: *maxBuffered, BufferPolicy: *bufPolicy,
-		MaxBufferedTotal: *maxBufTotal, StreamWriteTimeout: *streamWrite,
-	})
+	type daemon interface {
+		routes() http.Handler
+		drain()
+	}
+	var srv daemon
+	var err error
+	switch *role {
+	case "server", "shard":
+		if *role == "shard" && *shardCount < 2 {
+			err = fmt.Errorf("shard role needs -shard-count >= 2")
+			break
+		}
+		cfg := serverConfig{
+			N: *n, Dims: *dims, Dist: *dist, Sel: *sel, Keys: *keys, Seed: *seed,
+			MaxConcurrent: *maxConc, Workers: *workers, TargetCells: *cells,
+			Clock: *clock, RetryAfterSeconds: *retryAfter,
+			MaxBuffered: *maxBuffered, BufferPolicy: *bufPolicy,
+			MaxBufferedTotal: *maxBufTotal, StreamWriteTimeout: *streamWrite,
+		}
+		if *role == "shard" {
+			cfg.ShardIndex, cfg.ShardCount, cfg.Partition = *shardIndex, *shardCount, *partition
+		}
+		srv, err = newServer(cfg)
+	case "coordinator":
+		srv, err = newCoordinatorDaemon(coordDaemonConfig{
+			ShardURLs: *shardURLs, LocalShards: *localShards, Partition: *partition,
+			N: *n, Dims: *dims, Dist: *dist, Sel: *sel, Keys: *keys, Seed: *seed,
+			Workers: *workers, TargetCells: *cells, MaxConcurrent: *maxConc,
+			Retries: *shardRetries, RetryBackoff: *shardBackoff,
+			SubmitTimeout: *shardTimeout, GatherTimeout: *gatherTimeout,
+			RetryAfterSeconds: *retryAfter,
+		})
+	default:
+		err = fmt.Errorf("unknown role %q (server, shard or coordinator)", *role)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "caqe-serve: %v\n", err)
 		os.Exit(1)
@@ -112,8 +152,8 @@ func main() {
 	hs := newHTTPServer(*addr, srv.routes(), *readHeader, *idle)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("caqe-serve: listening on %s (%d rows, d=%d, %d join conditions, buffer %d/%s)",
-		*addr, *n, *dims, *keys, *maxBuffered, *bufPolicy)
+	log.Printf("caqe-serve: %s listening on %s (%d rows, d=%d, %d join conditions, buffer %d/%s)",
+		*role, *addr, *n, *dims, *keys, *maxBuffered, *bufPolicy)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)

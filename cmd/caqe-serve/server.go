@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"caqe"
+	"caqe/internal/cluster"
 	"caqe/internal/trace"
 )
 
@@ -24,6 +25,14 @@ type serverConfig struct {
 	Seed                 int64
 	MaxConcurrent        int
 	Workers, TargetCells int
+
+	// ShardCount > 1 runs this node as shard ShardIndex of an N-shard
+	// cluster: the node generates the full dataset from the shared
+	// parameters, keeps only its partition of R (T is replicated), and
+	// serves it like any other session. Partition selects the strategy
+	// ("range" or "hash", default range) and must match the coordinator's.
+	ShardIndex, ShardCount int
+	Partition              string
 
 	// Clock selects the engine clock: "virtual" (default; deterministic,
 	// contract deadlines in virtual seconds) or "wall" (real time; contract
@@ -74,9 +83,13 @@ type server struct {
 	retryAfter   int // seconds, sent as Retry-After on 429/503
 }
 
-func newServer(cfg serverConfig) (*server, error) {
+// buildDataset generates the served pair and the query vocabulary — one
+// join condition per key column, one summed output dimension per attribute.
+// Shard nodes and in-process coordinator shards call it with the same
+// shared parameters and therefore see the same data.
+func buildDataset(n, dims, keys int, distName string, sel float64, seed int64) (r, t *caqe.Relation, joinConds []caqe.EquiJoin, outDims []caqe.MapFunc, err error) {
 	var dist caqe.Distribution
-	switch strings.ToLower(cfg.Dist) {
+	switch strings.ToLower(distName) {
 	case "", "independent":
 		dist = caqe.Independent
 	case "correlated":
@@ -84,11 +97,31 @@ func newServer(cfg serverConfig) (*server, error) {
 	case "anticorrelated":
 		dist = caqe.AntiCorrelated
 	default:
-		return nil, fmt.Errorf("unknown distribution %q", cfg.Dist)
+		return nil, nil, nil, nil, fmt.Errorf("unknown distribution %q", distName)
 	}
-	if cfg.Keys < 1 {
-		return nil, fmt.Errorf("need at least one key column, got %d", cfg.Keys)
+	if keys < 1 {
+		return nil, nil, nil, nil, fmt.Errorf("need at least one key column, got %d", keys)
 	}
+	sels := make([]float64, keys)
+	for i := range sels {
+		sels[i] = sel
+	}
+	r, t, err = caqe.GeneratePair(n, dims, dist, sels, seed)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	joinConds = make([]caqe.EquiJoin, keys)
+	for k := range joinConds {
+		joinConds[k] = caqe.EquiJoin{Name: fmt.Sprintf("JC%d", k), LeftKey: k, RightKey: k}
+	}
+	outDims = make([]caqe.MapFunc, dims)
+	for d := range outDims {
+		outDims[d] = caqe.SumDim(fmt.Sprintf("d%d", d), d)
+	}
+	return r, t, joinConds, outDims, nil
+}
+
+func newServer(cfg serverConfig) (*server, error) {
 	var wall bool
 	switch strings.ToLower(cfg.Clock) {
 	case "", "virtual":
@@ -105,24 +138,20 @@ func newServer(cfg serverConfig) (*server, error) {
 	if retryAfter <= 0 {
 		retryAfter = 1
 	}
-	sels := make([]float64, cfg.Keys)
-	for i := range sels {
-		sels[i] = cfg.Sel
-	}
-	r, t, err := caqe.GeneratePair(cfg.N, cfg.Dims, dist, sels, cfg.Seed)
+	r, t, joinConds, outDims, err := buildDataset(cfg.N, cfg.Dims, cfg.Keys, cfg.Dist, cfg.Sel, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-
-	// One join condition per key column and one summed output dimension per
-	// attribute: the vocabulary every submitted query picks from.
-	joinConds := make([]caqe.EquiJoin, cfg.Keys)
-	for k := range joinConds {
-		joinConds[k] = caqe.EquiJoin{Name: fmt.Sprintf("JC%d", k), LeftKey: k, RightKey: k}
-	}
-	outDims := make([]caqe.MapFunc, cfg.Dims)
-	for d := range outDims {
-		outDims[d] = caqe.SumDim(fmt.Sprintf("d%d", d), d)
+	if cfg.ShardCount > 1 {
+		if cfg.ShardIndex < 0 || cfg.ShardIndex >= cfg.ShardCount {
+			return nil, fmt.Errorf("shard index %d outside [0, %d)", cfg.ShardIndex, cfg.ShardCount)
+		}
+		m, err := cluster.NewShardMap(cfg.ShardCount, cluster.Strategy(cfg.Partition))
+		if err != nil {
+			return nil, err
+		}
+		parts, _ := m.Partition(r)
+		r = parts[cfg.ShardIndex]
 	}
 
 	logger := cfg.Logger
@@ -207,48 +236,14 @@ func (w *statusWriter) Flush() {
 
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
-// contractRequest selects and parameterizes a contract class (Table 2).
-type contractRequest struct {
-	// Class: deadline (C1), logdecay (C2), softdeadline (C3, default with
-	// Deadline 30), ratequota (C4), hybrid (C5).
-	Class    string  `json:"class"`
-	Deadline float64 `json:"deadline,omitempty"` // virtual seconds, C1/C3
-	Frac     float64 `json:"frac,omitempty"`     // result fraction per interval, C4/C5
-	Interval float64 `json:"interval,omitempty"` // virtual seconds, C4/C5
-}
+// contractRequest selects and parameterizes a contract class (Table 2). It
+// is the cluster package's transport-neutral spec, so a coordinator can
+// forward submission bodies to shard nodes verbatim.
+type contractRequest = cluster.ContractSpec
 
-func (cr contractRequest) build() (caqe.Contract, error) {
-	switch strings.ToLower(cr.Class) {
-	case "", "softdeadline":
-		d := cr.Deadline
-		if d <= 0 {
-			d = 30
-		}
-		return caqe.SoftDeadline(d), nil
-	case "deadline":
-		if cr.Deadline <= 0 {
-			return nil, fmt.Errorf("contract class deadline needs a positive deadline")
-		}
-		return caqe.Deadline(cr.Deadline), nil
-	case "logdecay":
-		return caqe.LogDecay(), nil
-	case "ratequota":
-		return caqe.RateQuota(cr.Frac, cr.Interval), nil
-	case "hybrid":
-		return caqe.Hybrid(cr.Frac, cr.Interval), nil
-	}
-	return nil, fmt.Errorf("unknown contract class %q", cr.Class)
-}
-
-// queryRequest is the POST /queries body.
-type queryRequest struct {
-	Name     string          `json:"name"`
-	JC       int             `json:"jc"`       // join condition index
-	Pref     []int           `json:"pref"`     // output dimensions of the skyline preference
-	Priority float64         `json:"priority"` // [0,1]
-	Contract contractRequest `json:"contract"`
-	EstTotal int             `json:"estTotal,omitempty"` // expected |results| for cardinality contracts
-}
+// queryRequest is the POST /queries body — the same wire spec the cluster
+// coordinator scatters, so shard nodes and plain servers decode one shape.
+type queryRequest = cluster.QuerySpec
 
 // queryResponse describes one submitted query.
 type queryResponse struct {
@@ -266,26 +261,16 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	c, err := req.Contract.build()
+	q, err := req.Query()
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
-	}
-	if req.Name == "" {
-		req.Name = fmt.Sprintf("q-jc%d", req.JC)
-	}
-	q := caqe.Query{
-		Name:     req.Name,
-		JC:       req.JC,
-		Pref:     caqe.Dims(req.Pref...),
-		Priority: req.Priority,
-		Contract: c,
 	}
 	h, err := s.sess.Submit(q, req.EstTotal)
 	if err != nil {
 		if errors.Is(err, caqe.ErrSessionOverloaded) {
 			s.sm.loadShed.Add(1)
-			s.logger.Printf("caqe-serve: shedding submission %q: %v", req.Name, err)
+			s.logger.Printf("caqe-serve: shedding submission %q: %v", q.Name, err)
 		}
 		s.fail(w, errStatus(err), err)
 		return

@@ -176,6 +176,11 @@ func printSummary(r *runTrace) {
 	emitted, batches := 0, 0
 	margins, frontiers := 0.0, 0
 	withRunnerUp := 0
+	folds, candsIn, mergeCmps := 0, 0, 0
+	mergeShards := make(map[int]bool)
+	// Each fold reports the running survivor total, so the final fold per
+	// query carries that query's global skyline size.
+	lastOut := make(map[int]int)
 	for _, ev := range r.events {
 		switch ev.Kind {
 		case trace.KindEmit:
@@ -187,6 +192,12 @@ func printSummary(r *runTrace) {
 				margins += ev.CSM - ev.RunnerUpCSM
 				withRunnerUp++
 			}
+		case trace.KindShardMerge:
+			folds++
+			candsIn += ev.CandsIn
+			lastOut[ev.Query] = ev.CandsOut
+			mergeCmps += ev.Count
+			mergeShards[ev.Shard] = true
 		}
 	}
 	fmt.Printf("  %d results in %d emission batches", emitted, batches)
@@ -201,6 +212,14 @@ func printSummary(r *runTrace) {
 				margins/float64(withRunnerUp), withRunnerUp)
 		}
 		fmt.Println()
+	}
+	if folds > 0 {
+		candsOut := 0
+		for _, n := range lastOut {
+			candsOut += n
+		}
+		fmt.Printf("  shard merge: %d folds over %d shards, %d candidates -> %d survivors, %d comparisons\n",
+			folds, len(mergeShards), candsIn, candsOut, mergeCmps)
 	}
 	if r.counters != "" {
 		fmt.Printf("  work: %s\n", r.counters)

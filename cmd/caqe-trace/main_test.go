@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	caqe "caqe"
+	"caqe/internal/cluster"
+	"caqe/internal/trace"
+)
+
+// shardedTrace runs a 3-shard batch execution with the JSONL tracer and
+// returns the trace file path.
+func shardedTrace(t *testing.T) string {
+	t.Helper()
+	r, tt, err := caqe.GeneratePair(160, 3, caqe.Independent, []float64{0.05}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &caqe.Workload{
+		JoinConds: []caqe.EquiJoin{{Name: "JC0", LeftKey: 0, RightKey: 0}},
+		OutDims:   []caqe.MapFunc{caqe.SumDim("x0", 0), caqe.SumDim("x1", 1), caqe.SumDim("x2", 2)},
+		Queries: []caqe.Query{
+			{Name: "q0", JC: 0, Pref: caqe.Dims(0, 1), Priority: 0.8, Contract: caqe.SoftDeadline(30)},
+			{Name: "q1", JC: 0, Pref: caqe.Dims(1, 2), Priority: 0.5, Contract: caqe.Deadline(40)},
+		},
+	}
+	var buf bytes.Buffer
+	jw := trace.NewJSONLWriter(&buf)
+	_, stats, err := cluster.Run(w, r, tt, cluster.Options{Shards: 3, Tracer: jw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.MergeCmps == 0 {
+		t.Fatal("sharded run charged no merge comparisons")
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSummaryShardMergeRow checks a sharded batch trace parses (shardmerge
+// events sit inside the merged run's start/end bracket) and that the
+// summary prints the shard-merge row.
+func TestSummaryShardMergeRow(t *testing.T) {
+	path := shardedTrace(t)
+
+	events, err := readEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := splitRuns(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("%d runs in trace, want 1", len(runs))
+	}
+	run := runs[0]
+	if run.kinds[trace.KindShardMerge] == 0 {
+		t.Fatal("no shardmerge events in sharded trace")
+	}
+
+	out := captureStdout(t, func() { printSummary(run) })
+	if !bytes.Contains(out, []byte("shard merge:")) {
+		t.Fatalf("summary missing shard-merge row:\n%s", out)
+	}
+
+	// The full CLI path (validate + summary) accepts the trace too.
+	if err := runCLI(path, true, true, false, 4, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSummaryNoShardMergeRow keeps the row out of unsharded summaries.
+func TestSummaryNoShardMergeRow(t *testing.T) {
+	run := &runTrace{strategy: "CAQE", kinds: map[trace.Kind]int{}}
+	out := captureStdout(t, func() { printSummary(run) })
+	if bytes.Contains(out, []byte("shard merge:")) {
+		t.Fatalf("unsharded summary grew a shard-merge row:\n%s", out)
+	}
+}
+
+func readEvents(path string) ([]trace.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadAll(f)
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	old := os.Stdout
+	rp, wp, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wp
+	done := make(chan []byte)
+	go func() {
+		var b bytes.Buffer
+		b.ReadFrom(rp)
+		done <- b.Bytes()
+	}()
+	fn()
+	wp.Close()
+	os.Stdout = old
+	return <-done
+}

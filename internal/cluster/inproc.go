@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"caqe/internal/core"
+	"caqe/internal/join"
+	"caqe/internal/run"
+	"caqe/internal/session"
+	"caqe/internal/tuple"
+)
+
+// InProcConfig describes an all-in-one-process cluster: one session per
+// shard over a partition of R, all in this binary. The fast path — no
+// serialization, fully deterministic result sets, race-testable.
+type InProcConfig struct {
+	Map       ShardMap
+	R, T      *tuple.Relation
+	JoinConds []join.EquiJoin
+	OutDims   []join.MapFunc
+	Engine    core.Options
+	// MaxConcurrent caps simultaneously open queries per shard session
+	// (0 = engine maximum).
+	MaxConcurrent int
+}
+
+// NewInProcShards partitions R per the shard map and opens one session per
+// shard, returning the connections in shard order — ready for
+// NewCoordinator. Delivery buffers stay unbounded (the coordinator is the
+// only consumer and drains promptly), so gathered streams are lossless.
+func NewInProcShards(cfg InProcConfig) ([]ShardConn, error) {
+	parts, table := cfg.Map.Partition(cfg.R)
+	conns := make([]ShardConn, len(parts))
+	for s := range parts {
+		sess, err := session.Open(session.Config{
+			R:             parts[s],
+			T:             cfg.T,
+			JoinConds:     cfg.JoinConds,
+			OutDims:       cfg.OutDims,
+			Engine:        cfg.Engine,
+			MaxConcurrent: cfg.MaxConcurrent,
+		})
+		if err != nil {
+			for _, c := range conns[:s] {
+				_ = c.Close()
+			}
+			return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
+		var rids []int
+		if cfg.Map.Shards > 1 {
+			rids = table[s]
+		}
+		conns[s] = &InProcConn{shard: s, sess: sess, rids: rids}
+	}
+	return conns, nil
+}
+
+// InProcConn drives one shard session in this process.
+type InProcConn struct {
+	shard int
+	sess  *session.Session
+	rids  []int // local→global row IDs; nil = identity
+}
+
+// Shard returns the shard id.
+func (c *InProcConn) Shard() int { return c.shard }
+
+// Session exposes the underlying shard session (stats, drain inspection).
+func (c *InProcConn) Session() *session.Session { return c.sess }
+
+// Submit admits the query into the shard session (quota-blind: shards
+// never see the global cardinality estimate) and starts execution.
+func (c *InProcConn) Submit(spec QuerySpec) (ShardQuery, error) {
+	q, err := spec.Query()
+	if err != nil {
+		return nil, err
+	}
+	h, err := c.sess.Submit(q, 0)
+	if err != nil {
+		return nil, err
+	}
+	_ = c.sess.Start()
+	return &inprocQuery{conn: c, h: h}, nil
+}
+
+// Close drains and closes the shard session.
+func (c *InProcConn) Close() error { return c.sess.Close() }
+
+type inprocQuery struct {
+	conn *InProcConn
+	h    *session.Handle
+}
+
+func (q *inprocQuery) Gather(ctx context.Context) ([]run.Emission, error) {
+	evs := q.h.Events()
+	var out []run.Emission
+	for {
+		select {
+		case ev, ok := <-evs:
+			if !ok {
+				return out, nil
+			}
+			if ev.Lag > 0 {
+				// Cannot happen with unbounded buffers, but a configured
+				// session could coalesce; a lossy stream is not a local
+				// skyline, so surface it as a gather failure.
+				return out, fmt.Errorf("cluster: shard %d stream coalesced %d emissions", q.conn.shard, ev.Lag)
+			}
+			e := ev.Emission
+			if q.conn.rids != nil {
+				e.RID = q.conn.rids[e.RID]
+			}
+			out = append(out, e)
+		case <-ctx.Done():
+			q.h.Abandon()
+			return out, ctx.Err()
+		}
+	}
+}
+
+func (q *inprocQuery) Cancel() error {
+	return q.conn.sess.Cancel(q.h.ID())
+}

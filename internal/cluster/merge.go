@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"sort"
+
+	"caqe/internal/metrics"
+	"caqe/internal/preference"
+	"caqe/internal/run"
+	"caqe/internal/trace"
+)
+
+// Candidate is one gathered local-skyline member at the coordinator: a
+// shard emission tagged with its source shard. RID/TID are global (the
+// gather layer translates shard-local row IDs through the ShardMap table)
+// and Time is the shard-local virtual time of the emission.
+type Candidate struct {
+	Shard int
+	run.Emission
+}
+
+// MergeStats summarizes one query's final dominance-merge pass.
+type MergeStats struct {
+	CandsIn  int   `json:"candsIn"`  // gathered local-skyline candidates
+	CandsOut int   `json:"candsOut"` // global skyline size after the merge
+	Cmps     int64 `json:"cmps"`     // pairwise comparisons charged
+}
+
+// Merge runs the final dominance pass for one query: fold each shard's
+// candidates — shards in shard-ID order, candidates in shard delivery
+// order — into a survivor set, then order the survivors by (virtual time,
+// shard id, rid, tid) so merged reports are reproducible regardless of
+// gather timing.
+//
+// Every candidate is compared against the current survivors in insertion
+// order; each pairwise comparison charges one metered skyline comparison
+// on clock (the coordinator's clock — shard executors never see this
+// work). Equal points do not dominate each other, matching the engine's
+// skyline semantics, so ties survive on every shard and here. A
+// single-shard gather passes through verbatim: the local skyline is the
+// global one and no comparisons are charged.
+//
+// With a tracer attached, one KindShardMerge event is recorded per
+// non-empty fold step (shard id, candidates in, survivors after, and the
+// comparisons charged), labeled with strategy at the coordinator clock's
+// current virtual time.
+func Merge(kern *preference.Kernel, byShard [][]Candidate, clock *metrics.Clock, tr trace.Tracer, strategy string, query int) ([]Candidate, MergeStats) {
+	var st MergeStats
+	if len(byShard) == 1 {
+		out := byShard[0]
+		st.CandsIn, st.CandsOut = len(out), len(out)
+		return out, st
+	}
+	var survivors []Candidate
+	for shard, cands := range byShard {
+		if len(cands) == 0 {
+			continue
+		}
+		st.CandsIn += len(cands)
+		var cmps int64
+		for _, c := range cands {
+			alive := true
+			keep := survivors[:0]
+			for _, s := range survivors {
+				if !alive {
+					keep = append(keep, s)
+					continue
+				}
+				cmps++
+				sWeakC, cWeakS := kern.Relate(s.Out, c.Out)
+				switch {
+				case sWeakC && !cWeakS: // s strictly dominates c
+					alive = false
+					keep = append(keep, s)
+				case cWeakS && !sWeakC: // c strictly dominates s: drop s
+				default: // incomparable or equal: both stand
+					keep = append(keep, s)
+				}
+			}
+			survivors = keep
+			if alive {
+				survivors = append(survivors, c)
+			}
+		}
+		clock.CountSkylineCmp(cmps)
+		st.Cmps += cmps
+		if tr != nil {
+			ev := trace.New(trace.KindShardMerge)
+			ev.Strategy = strategy
+			ev.T = clock.Now() / metrics.VirtualSecond
+			ev.Query = query
+			ev.Shard = shard
+			ev.CandsIn = len(cands)
+			ev.CandsOut = len(survivors)
+			ev.Count = int(cmps)
+			tr.Trace(ev)
+		}
+	}
+	sort.SliceStable(survivors, func(i, j int) bool {
+		a, b := survivors[i], survivors[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		if a.RID != b.RID {
+			return a.RID < b.RID
+		}
+		return a.TID < b.TID
+	})
+	st.CandsOut = len(survivors)
+	return survivors, st
+}

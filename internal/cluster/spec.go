@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"caqe/internal/contract"
+	"caqe/internal/preference"
+	"caqe/internal/workload"
+)
+
+// ContractSpec is the transport-neutral wire form of a progressiveness
+// contract — the same JSON shape caqe-serve accepts on POST /queries, so a
+// coordinator can forward a submission to shard nodes verbatim.
+type ContractSpec struct {
+	// Class: deadline (C1), logdecay (C2), softdeadline (C3, default with
+	// Deadline 30), ratequota (C4), hybrid (C5).
+	Class    string  `json:"class"`
+	Deadline float64 `json:"deadline,omitempty"` // virtual seconds, C1/C3
+	Frac     float64 `json:"frac,omitempty"`     // result fraction per interval, C4/C5
+	Interval float64 `json:"interval,omitempty"` // virtual seconds, C4/C5
+}
+
+// Build constructs the contract the spec describes.
+func (cr ContractSpec) Build() (contract.Contract, error) {
+	switch strings.ToLower(cr.Class) {
+	case "", "softdeadline":
+		d := cr.Deadline
+		if d <= 0 {
+			d = 30
+		}
+		return contract.C3(d), nil
+	case "deadline":
+		if cr.Deadline <= 0 {
+			return nil, fmt.Errorf("contract class deadline needs a positive deadline")
+		}
+		return contract.C1(cr.Deadline), nil
+	case "logdecay":
+		return contract.C2(), nil
+	case "ratequota":
+		return contract.C4(cr.Frac, cr.Interval), nil
+	case "hybrid":
+		return contract.C5(cr.Frac, cr.Interval), nil
+	}
+	return contract.Contract(nil), fmt.Errorf("unknown contract class %q", cr.Class)
+}
+
+// QuerySpec is the transport-neutral form of one session query: what a
+// coordinator scatters to every shard. It mirrors caqe-serve's submission
+// body exactly, so the HTTP transport forwards it unchanged and the server
+// decodes it with the same struct.
+type QuerySpec struct {
+	Name     string       `json:"name"`
+	JC       int          `json:"jc"`       // join condition index
+	Pref     []int        `json:"pref"`     // output dimensions of the skyline preference
+	Priority float64      `json:"priority"` // [0,1]
+	Contract ContractSpec `json:"contract"`
+	// EstTotal is the expected global result cardinality for
+	// cardinality-based contracts. Shard workers run quota-blind (a shard
+	// cannot know the global cardinality), so only the coordinator and
+	// single-node servers consume it.
+	EstTotal int `json:"estTotal,omitempty"`
+}
+
+// Query materializes the spec as an engine query, building its contract and
+// preference subspace. The default name matches caqe-serve's.
+func (qs QuerySpec) Query() (workload.Query, error) {
+	c, err := qs.Contract.Build()
+	if err != nil {
+		return workload.Query{}, err
+	}
+	name := qs.Name
+	if name == "" {
+		name = fmt.Sprintf("q-jc%d", qs.JC)
+	}
+	return workload.Query{
+		Name:     name,
+		JC:       qs.JC,
+		Pref:     preference.NewSubspace(qs.Pref...),
+		Priority: qs.Priority,
+		Contract: c,
+	}, nil
+}

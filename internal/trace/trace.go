@@ -52,6 +52,12 @@ const (
 	// KindEmit records one batch of consecutive result deliveries to a
 	// single query: Count results between virtual times T and TEnd.
 	KindEmit Kind = "emit"
+	// KindShardMerge records one fold step of a cluster coordinator's final
+	// dominance-merge pass: shard Shard's CandsIn local-skyline candidates
+	// for query Query were folded into the survivor set, leaving CandsOut
+	// survivors after Count pairwise comparisons (each charged as a metered
+	// skyline comparison at the coordinator).
+	KindShardMerge Kind = "shardmerge"
 	// KindFeedback records one Eq. 11 satisfaction-feedback update:
 	// Weights are the new per-query scheduler weights, Deltas what was
 	// added, Queries the report-space query index of each entry.
@@ -64,13 +70,13 @@ const (
 // iteration order that metrics exposition and summaries rely on (Snapshot
 // event counts are keyed by Kind in an unordered map).
 func Kinds() []Kind {
-	return []Kind{KindStart, KindDecision, KindDefer, KindOpBatch, KindDiscard, KindEmit, KindFeedback, KindEnd}
+	return []Kind{KindStart, KindDecision, KindDefer, KindOpBatch, KindDiscard, KindShardMerge, KindEmit, KindFeedback, KindEnd}
 }
 
-// Event is one structured trace record. Region, Query and RunnerUp use -1
-// for "not applicable"; New returns an Event with those defaults set.
-// Every event carries the strategy label and the virtual timestamp T at
-// which it was observed.
+// Event is one structured trace record. Region, Query, RunnerUp and Shard
+// use -1 for "not applicable"; New returns an Event with those defaults
+// set. Every event carries the strategy label and the virtual timestamp T
+// at which it was observed.
 type Event struct {
 	Seq      int64   `json:"seq"`
 	Kind     Kind    `json:"kind"`
@@ -84,8 +90,12 @@ type Event struct {
 	RunnerUpCSM float64 `json:"runnerUpCsm,omitempty"` // decision: score of the runner-up
 	Frontier    int     `json:"frontier,omitempty"`    // decision: immediate candidates remaining after the pick
 	TEnd        float64 `json:"tEnd,omitempty"`        // emit: virtual time of the batch's last delivery
-	Count       int     `json:"count,omitempty"`       // emit: results delivered in the batch; op: rows in the batch
+	Count       int     `json:"count,omitempty"`       // emit: results delivered in the batch; op: rows in the batch; shardmerge: pairwise comparisons charged
 	Op          string  `json:"op,omitempty"`          // op: operator that pushed the batch
+
+	Shard    int `json:"shard"`              // shardmerge: source shard id, -1 otherwise
+	CandsIn  int `json:"candsIn,omitempty"`  // shardmerge: local-skyline candidates folded in
+	CandsOut int `json:"candsOut,omitempty"` // shardmerge: survivors after the fold step
 
 	Queries []int     `json:"queries,omitempty"` // decision/feedback: affected query indices
 	Weights []float64 `json:"weights,omitempty"` // feedback: new scheduler weights
@@ -98,7 +108,7 @@ type Event struct {
 // New returns an Event of the given kind with the index fields set to
 // their not-applicable defaults.
 func New(kind Kind) Event {
-	return Event{Kind: kind, Region: -1, Query: -1, RunnerUp: -1}
+	return Event{Kind: kind, Region: -1, Query: -1, RunnerUp: -1, Shard: -1}
 }
 
 // Tracer receives the event stream of one or more runs. Implementations
@@ -157,6 +167,19 @@ func (e Event) Validate() error {
 		}
 		if e.TEnd < e.T {
 			return fmt.Errorf("trace: emit batch ends at %g before it starts at %g", e.TEnd, e.T)
+		}
+	case KindShardMerge:
+		if e.Shard < 0 {
+			return fmt.Errorf("trace: shard merge without shard id")
+		}
+		if e.Query < 0 {
+			return fmt.Errorf("trace: shard merge without query")
+		}
+		if e.CandsIn < 0 || e.CandsOut < 0 {
+			return fmt.Errorf("trace: shard merge with negative candidate counts (%d in, %d out)", e.CandsIn, e.CandsOut)
+		}
+		if e.Count < 0 {
+			return fmt.Errorf("trace: shard merge with negative comparison count %d", e.Count)
 		}
 	case KindFeedback:
 		if len(e.Weights) == 0 || len(e.Weights) != len(e.Deltas) {

@@ -20,6 +20,9 @@ func TestValidateKinds(t *testing.T) {
 		{Kind: KindEmit, Strategy: "CAQE", Region: -1, Query: 0, RunnerUp: -1, Count: 3, T: 1, TEnd: 2},
 		{Kind: KindFeedback, Strategy: "CAQE", Region: -1, Query: -1, RunnerUp: -1,
 			Queries: []int{0, 1}, Weights: []float64{1, 2}, Deltas: []float64{0.1, 0.9}},
+		{Kind: KindShardMerge, Strategy: "CAQE", Region: -1, Query: 2, RunnerUp: -1,
+			Shard: 1, CandsIn: 4, CandsOut: 3, Count: 7},
+		{Kind: KindShardMerge, Strategy: "CAQE", Region: -1, Query: 0, RunnerUp: -1, Shard: 0},
 		{Kind: KindEnd, Strategy: "CAQE", Region: -1, Query: -1, RunnerUp: -1, EndTime: 10, Counters: c},
 	}
 	for _, ev := range good {
@@ -38,6 +41,14 @@ func TestValidateKinds(t *testing.T) {
 		{Kind: KindDiscard, Strategy: "X", Region: 1, Query: -1},       // no query
 		{Kind: KindDecision, Strategy: "X", Region: 0, Frontier: -1},   // bad frontier
 		{Kind: KindStart, Strategy: "X", T: -1, Region: -1, Query: -1}, // negative time
+		{Kind: KindShardMerge, Strategy: "X", Region: -1, Query: 0,
+			RunnerUp: -1, Shard: -1}, // no shard
+		{Kind: KindShardMerge, Strategy: "X", Region: -1, Query: -1,
+			RunnerUp: -1, Shard: 0}, // no query
+		{Kind: KindShardMerge, Strategy: "X", Region: -1, Query: 0,
+			RunnerUp: -1, Shard: 0, CandsIn: -1}, // negative candidates
+		{Kind: KindShardMerge, Strategy: "X", Region: -1, Query: 0,
+			RunnerUp: -1, Shard: 0, Count: -1}, // negative comparisons
 	}
 	for i, ev := range bad {
 		if err := ev.Validate(); err == nil {
@@ -53,12 +64,15 @@ func TestJSONLRoundTrip(t *testing.T) {
 		New(KindStart),
 		New(KindDecision),
 		New(KindEmit),
+		New(KindShardMerge),
 		New(KindEnd),
 	}
 	events[0].Strategy = "CAQE"
 	events[1].Strategy, events[1].Region, events[1].CSM, events[1].Frontier = "CAQE", 7, 3.25, 4
 	events[2].Strategy, events[2].Query, events[2].Count, events[2].T, events[2].TEnd = "CAQE", 2, 5, 1.5, 2.5
-	events[3].Strategy, events[3].EndTime, events[3].Counters = "CAQE", 9.5, &metrics.Counters{JoinProbes: 42}
+	events[3].Strategy, events[3].Query, events[3].Shard = "CAQE", 2, 3
+	events[3].CandsIn, events[3].CandsOut, events[3].Count = 9, 6, 17
+	events[4].Strategy, events[4].EndTime, events[4].Counters = "CAQE", 9.5, &metrics.Counters{JoinProbes: 42}
 	for _, ev := range events {
 		jw.Trace(ev)
 	}
@@ -80,8 +94,11 @@ func TestJSONLRoundTrip(t *testing.T) {
 			t.Errorf("event %d: round-trip mismatch: %+v", i, ev)
 		}
 	}
-	if got[3].Counters == nil || got[3].Counters.JoinProbes != 42 {
-		t.Errorf("end counters lost: %+v", got[3].Counters)
+	if got[3].Shard != 3 || got[3].CandsIn != 9 || got[3].CandsOut != 6 || got[3].Count != 17 {
+		t.Errorf("shardmerge fields lost: %+v", got[3])
+	}
+	if got[4].Counters == nil || got[4].Counters.JoinProbes != 42 {
+		t.Errorf("end counters lost: %+v", got[4].Counters)
 	}
 }
 
