@@ -440,6 +440,17 @@ type (
 	SessionStreamStats = session.StreamStats
 	// SessionDeliveryStats aggregates delivery health across a session.
 	SessionDeliveryStats = session.DeliveryStats
+	// SessionMutation is one batch of base-table changes (appends and/or
+	// deletes on R or T) anchored at a virtual time; see Session.Mutate.
+	SessionMutation = session.Mutation
+	// SessionMutationResult reports an accepted mutation: reserved row IDs
+	// and whether it has applied yet.
+	SessionMutationResult = session.MutationResult
+	// SessionMutationStats accumulates a session's applied mutations.
+	SessionMutationStats = session.MutationStats
+	// TupleData is one appended row: attributes and join keys shaped like
+	// the target relation's schema.
+	TupleData = core.TupleData
 )
 
 // Delivery policies for SessionBackpressure: keep streaming with bounded

@@ -203,6 +203,31 @@ func (s *server) sessionFamilies() []metrics.PromFamily {
 	}
 	fams = append(fams, delivered, buffered, satisfaction)
 
+	muts := metrics.PromFamily{
+		Name: "caqe_mutations_total",
+		Help: "Base-table mutation work applied over the session lifetime, by kind.",
+		Kind: metrics.PromCounter,
+	}
+	for _, mv := range []struct {
+		name string
+		v    int
+	}{
+		{"tuples_appended", st.Mutations.Appended},
+		{"tuples_deleted", st.Mutations.Deleted},
+		{"cells_touched", st.Mutations.CellsTouched},
+		{"regions_revived", st.Mutations.RegionsRevived},
+		{"regions_created", st.Mutations.RegionsCreated},
+	} {
+		muts.Samples = append(muts.Samples, metrics.PromSample{
+			Labels: []metrics.PromLabel{{Name: "kind", Value: mv.name}},
+			Value:  float64(mv.v),
+		})
+	}
+	fams = append(fams, muts,
+		gaugeFamily("caqe_mutations_pending",
+			"Accepted mutations still waiting on their virtual-time anchor.",
+			float64(st.Mutations.Pending)))
+
 	ops := metrics.PromFamily{
 		Name: "caqe_engine_ops_total",
 		Help: "Elementary engine operations (the virtual clock's cost drivers).",

@@ -197,6 +197,8 @@ func (s *server) routes() http.Handler {
 	s.route(mux, "GET /queries/{id}", s.handleStatus)
 	s.route(mux, "DELETE /queries/{id}", s.handleCancel)
 	s.route(mux, "GET /queries/{id}/results", s.handleResults)
+	s.route(mux, "POST /data/{table}", s.handleMutate)
+	s.route(mux, "DELETE /data/{table}/{id}", s.handleDeleteRow)
 	s.route(mux, "GET /stats", s.handleStats)
 	s.route(mux, "GET /healthz", s.handleHealthz)
 	s.route(mux, "GET /metrics", s.handleMetrics)
@@ -356,6 +358,53 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// mutateRequest is the POST /data/{table} body: rows to append and/or row
+// IDs to delete, optionally anchored at a virtual time. The table comes
+// from the path.
+type mutateRequest struct {
+	Rows     []caqe.TupleData `json:"rows,omitempty"`
+	Delete   []int            `json:"delete,omitempty"`
+	AnchorAt float64          `json:"anchorAt,omitempty"`
+}
+
+// handleMutate applies (or queues, when anchored in the future) one batch
+// of base-table changes. The response carries the row IDs reserved for
+// the appended rows and whether the mutation has already applied.
+func (s *server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req mutateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	s.mutate(w, caqe.SessionMutation{
+		Table:    r.PathValue("table"),
+		Append:   req.Rows,
+		Delete:   req.Delete,
+		AnchorAt: req.AnchorAt,
+	})
+}
+
+// handleDeleteRow retires one row: DELETE /data/{table}/{id}.
+func (s *server) handleDeleteRow(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad row id %q", r.PathValue("id")))
+		return
+	}
+	s.mutate(w, caqe.SessionMutation{Table: r.PathValue("table"), Delete: []int{id}})
+}
+
+func (s *server) mutate(w http.ResponseWriter, m caqe.SessionMutation) {
+	res, err := s.sess.Mutate(m)
+	if err != nil {
+		s.fail(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // streamEnd is the terminal record of a result stream. Done reports

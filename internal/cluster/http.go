@@ -8,7 +8,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -93,20 +95,44 @@ func (c *HTTPConn) Close() error {
 	return nil
 }
 
-// StatusError is an HTTP rejection from a shard node.
+// StatusError is an HTTP rejection from a shard node. RetryAfter carries
+// the node's Retry-After hint when the rejection included one (429/503
+// shedding responses do); zero means no hint.
 type StatusError struct {
-	Status int
-	Body   string
+	Status     int
+	Body       string
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string {
 	return fmt.Sprintf("shard returned %d: %s", e.Status, e.Body)
 }
 
+// attemptTimeoutError marks a submit attempt that outlived its per-attempt
+// deadline — a hung shard, retryable by definition. It deliberately does
+// not unwrap to context.DeadlineExceeded so retryable() can tell it apart
+// from a caller-owned context expiring.
+type attemptTimeoutError struct {
+	timeout time.Duration
+}
+
+func (e *attemptTimeoutError) Error() string {
+	return fmt.Sprintf("submit attempt exceeded its %v deadline", e.timeout)
+}
+
 // retryable reports whether a submit error is worth another attempt:
-// transport failures, timeouts, 429 and 5xx are; other HTTP rejections
-// (malformed query, slot conflict) are permanent.
+// transport failures, per-attempt timeouts (a hung shard), 429 and 5xx
+// are; other HTTP rejections (malformed query, slot conflict) are
+// permanent, and so is a cancelled or expired caller context — retrying
+// after the caller gave up only wastes the shard's admission slots.
 func retryable(err error) bool {
+	var at *attemptTimeoutError
+	if errors.As(err, &at) {
+		return true
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
 	var se *StatusError
 	if errors.As(err, &se) {
 		return se.Status == http.StatusTooManyRequests || se.Status >= 500
@@ -114,8 +140,22 @@ func retryable(err error) bool {
 	return true
 }
 
+// retryDelay picks the pause before the next attempt: the shard's
+// Retry-After hint when the rejection carried one, otherwise a jittered
+// backoff in [RetryBackoff/2, RetryBackoff*3/2) so a burst of rejected
+// submissions does not re-arrive in lockstep.
+func (c *HTTPConn) retryDelay(err error) time.Duration {
+	var se *StatusError
+	if errors.As(err, &se) && se.RetryAfter > 0 {
+		return se.RetryAfter
+	}
+	b := c.cfg.RetryBackoff
+	return b/2 + time.Duration(rand.Int63n(int64(b)))
+}
+
 // Submit posts the query to the shard node, retrying per the configured
-// policy on retryable failures.
+// policy on retryable failures. Rejections that carry a Retry-After hint
+// are honored; hintless failures back off with jitter.
 func (c *HTTPConn) Submit(spec QuerySpec) (ShardQuery, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
@@ -125,7 +165,7 @@ func (c *HTTPConn) Submit(spec QuerySpec) (ShardQuery, error) {
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
-			time.Sleep(c.cfg.RetryBackoff)
+			time.Sleep(c.retryDelay(lastErr))
 		}
 		id, err := c.submitOnce(body)
 		if err == nil {
@@ -139,6 +179,26 @@ func (c *HTTPConn) Submit(spec QuerySpec) (ShardQuery, error) {
 	return nil, fmt.Errorf("submit failed after %d attempts: %w", c.cfg.Retries+1, lastErr)
 }
 
+// parseRetryAfter reads a Retry-After header as delay seconds or an HTTP
+// date; 0 means absent or unusable.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 func (c *HTTPConn) submitOnce(body []byte) (int, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.SubmitTimeout)
 	defer cancel()
@@ -149,12 +209,19 @@ func (c *HTTPConn) submitOnce(body []byte) (int, error) {
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.client.Do(req)
 	if err != nil {
+		if ctx.Err() == context.DeadlineExceeded && errors.Is(err, context.DeadlineExceeded) {
+			return 0, &attemptTimeoutError{timeout: c.cfg.SubmitTimeout}
+		}
 		return 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return 0, &StatusError{Status: resp.StatusCode, Body: strings.TrimSpace(string(msg))}
+		return 0, &StatusError{
+			Status:     resp.StatusCode,
+			Body:       strings.TrimSpace(string(msg)),
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	var qr struct {
 		ID int `json:"id"`

@@ -17,7 +17,8 @@ import (
 // optional number of rejections), GET /queries/{id}/results plays back a
 // scripted NDJSON stream.
 type fakeShard struct {
-	rejections int32 // 503s to serve before accepting
+	rejections int32  // 503s to serve before accepting
+	retryAfter string // Retry-After header sent with rejections ("" = none)
 	submitted  atomic.Int32
 	hang       time.Duration // delay before answering a submit
 	stream     []string      // NDJSON lines for every query
@@ -30,7 +31,9 @@ func (f *fakeShard) handler() http.Handler {
 			time.Sleep(f.hang)
 		}
 		if n := f.submitted.Add(1); int32(f.rejections) >= n {
-			w.Header().Set("Retry-After", "1")
+			if f.retryAfter != "" {
+				w.Header().Set("Retry-After", f.retryAfter)
+			}
 			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
 			return
 		}

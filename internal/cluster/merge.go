@@ -36,8 +36,10 @@ type MergeStats struct {
 // on clock (the coordinator's clock — shard executors never see this
 // work). Equal points do not dominate each other, matching the engine's
 // skyline semantics, so ties survive on every shard and here. A
-// single-shard gather passes through verbatim: the local skyline is the
-// global one and no comparisons are charged.
+// single-shard gather keeps every candidate and charges no comparisons —
+// the local skyline is the global one — but it goes through the same
+// ordering and tracing as an N-shard gather where only one shard is
+// non-empty, so the merged report is identical either way.
 //
 // With a tracer attached, one KindShardMerge event is recorded per
 // non-empty fold step (shard id, candidates in, survivors after, and the
@@ -48,6 +50,10 @@ func Merge(kern *preference.Kernel, byShard [][]Candidate, clock *metrics.Clock,
 	if len(byShard) == 1 {
 		out := byShard[0]
 		st.CandsIn, st.CandsOut = len(out), len(out)
+		if len(out) > 0 {
+			traceMergeFold(tr, clock, strategy, query, 0, len(out), len(out), 0)
+		}
+		sortMerged(out)
 		return out, st
 	}
 	var survivors []Candidate
@@ -83,20 +89,18 @@ func Merge(kern *preference.Kernel, byShard [][]Candidate, clock *metrics.Clock,
 		}
 		clock.CountSkylineCmp(cmps)
 		st.Cmps += cmps
-		if tr != nil {
-			ev := trace.New(trace.KindShardMerge)
-			ev.Strategy = strategy
-			ev.T = clock.Now() / metrics.VirtualSecond
-			ev.Query = query
-			ev.Shard = shard
-			ev.CandsIn = len(cands)
-			ev.CandsOut = len(survivors)
-			ev.Count = int(cmps)
-			tr.Trace(ev)
-		}
+		traceMergeFold(tr, clock, strategy, query, shard, len(cands), len(survivors), cmps)
 	}
-	sort.SliceStable(survivors, func(i, j int) bool {
-		a, b := survivors[i], survivors[j]
+	sortMerged(survivors)
+	st.CandsOut = len(survivors)
+	return survivors, st
+}
+
+// sortMerged orders one query's merge survivors by (virtual time, shard
+// id, rid, tid) — the deterministic delivery order of a merged report.
+func sortMerged(cs []Candidate) {
+	sort.SliceStable(cs, func(i, j int) bool {
+		a, b := cs[i], cs[j]
 		if a.Time != b.Time {
 			return a.Time < b.Time
 		}
@@ -108,6 +112,20 @@ func Merge(kern *preference.Kernel, byShard [][]Candidate, clock *metrics.Clock,
 		}
 		return a.TID < b.TID
 	})
-	st.CandsOut = len(survivors)
-	return survivors, st
+}
+
+// traceMergeFold records one fold step's KindShardMerge event.
+func traceMergeFold(tr trace.Tracer, clock *metrics.Clock, strategy string, query, shard, in, out int, cmps int64) {
+	if tr == nil {
+		return
+	}
+	ev := trace.New(trace.KindShardMerge)
+	ev.Strategy = strategy
+	ev.T = clock.Now() / metrics.VirtualSecond
+	ev.Query = query
+	ev.Shard = shard
+	ev.CandsIn = in
+	ev.CandsOut = out
+	ev.Count = int(cmps)
+	tr.Trace(ev)
 }

@@ -60,6 +60,9 @@ type QuerySpec struct {
 	// cannot know the global cardinality), so only the coordinator and
 	// single-node servers consume it.
 	EstTotal int `json:"estTotal,omitempty"`
+	// Standing marks a continuous query: its stream stays open after the
+	// current data drains, so base-table mutations keep feeding it.
+	Standing bool `json:"standing,omitempty"`
 }
 
 // Query materializes the spec as an engine query, building its contract and
@@ -79,5 +82,6 @@ func (qs QuerySpec) Query() (workload.Query, error) {
 		Pref:     preference.NewSubspace(qs.Pref...),
 		Priority: qs.Priority,
 		Contract: c,
+		Standing: qs.Standing,
 	}, nil
 }

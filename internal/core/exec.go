@@ -142,7 +142,10 @@ func (x *Exec) Admit(q workload.Query, estTotal int) (int, error) {
 	reuse := -1
 	if len(w.Queries) >= workload.MaxQueries {
 		for i := range w.Queries {
-			if st.cancelled.Has(i) || x.QueryDone(i) {
+			// In a mutable execution a done-but-unsealed query may be a
+			// standing query that a later mutation revives, so only sealed
+			// (or cancelled) slots are reclaimable there.
+			if st.cancelled.Has(i) || (x.QueryDone(i) && (!st.mutable || st.sealed.Has(i))) {
 				reuse = i
 				break
 			}
@@ -338,6 +341,7 @@ func (st *state) retireSlot(qi int, now float64) {
 		st.rep.Trackers[st.qremap[qi]].Finalize(now)
 	}
 	st.cancelled &^= bit
+	st.sealed &^= bit
 	st.jcQueries[st.w.Queries[qi].JC] &^= bit
 	for ri, r := range st.regions {
 		had := r.Alive.Has(qi)
@@ -372,12 +376,14 @@ func (x *Exec) ReportIndex(qi int) int { return x.st.qremap[qi] }
 // since admission can emit the new query's first results synchronously.
 func (x *Exec) NextReportIndex() int { return len(x.rep.Trackers) }
 
-// QueryDone reports whether a query can receive no further results: it was
-// cancelled, or no live region serves it and no candidate awaits a safety
-// check. For one occupant of a slot, once true it stays true — late
-// admissions only ever revive regions for the admitted query itself; a
-// done slot may however be reclaimed by a later Admit, after which the
-// index refers to the new occupant.
+// QueryDone reports whether a query can receive no further results right
+// now: it was cancelled, or no live region serves it and no candidate
+// awaits a safety check. Late admissions never flip it back — they only
+// revive regions for the admitted query itself — but a base-table
+// mutation can: new data revives regions for every live query, so a
+// session that wants "done" to be final must Seal the query first. A done
+// slot may also be reclaimed by a later Admit, after which the index
+// refers to the new occupant.
 func (x *Exec) QueryDone(qi int) bool {
 	st := x.st
 	if qi < 0 || qi >= len(st.w.Queries) {

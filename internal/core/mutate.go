@@ -1,0 +1,556 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"caqe/internal/partition"
+	"caqe/internal/region"
+	"caqe/internal/skycube"
+	"caqe/internal/trace"
+	"caqe/internal/tuple"
+)
+
+// Table selects the base relation a mutation targets.
+type Table int
+
+const (
+	TableR Table = iota
+	TableT
+)
+
+func tableName(tab Table) string {
+	if tab == TableR {
+		return "r"
+	}
+	return "t"
+}
+
+// TupleData is one row of an append: numeric attributes and join keys
+// shaped like the target relation's schema.
+type TupleData struct {
+	Attrs []float64 `json:"attrs"`
+	Keys  []int64   `json:"keys"`
+}
+
+// DeltaStats summarizes one applied mutation.
+type DeltaStats struct {
+	Appended       int `json:"appended"`
+	Deleted        int `json:"deleted"`
+	CellsTouched   int `json:"cellsTouched"`
+	RegionsRevived int `json:"regionsRevived"`
+	RegionsCreated int `json:"regionsCreated"`
+}
+
+// Deleted tuples stay in place under reserved join keys that can never
+// match a live tuple: cell positions, cell sizes and row IDs are stable
+// across deletes, so delta-join cursors and already-emitted history remain
+// valid without rewriting anything. The two sides use distinct sentinels
+// so a deleted R-tuple cannot equi-join a deleted T-tuple either.
+const (
+	TombstoneKeyR int64 = math.MinInt64
+	TombstoneKeyT int64 = math.MinInt64 + 1
+)
+
+func tombstoneFor(tab Table) int64 {
+	if tab == TableR {
+		return TombstoneKeyR
+	}
+	return TombstoneKeyT
+}
+
+// joinKey addresses one (region, join condition) delta-join cursor.
+type joinKey struct{ region, jc int }
+
+// joinCursor records how many leading tuples of each input cell a region's
+// tuple-level join has consumed for one condition. A reopened region joins
+// only the pairs beyond its cursor: new-left × all-right, then old-left ×
+// new-right.
+type joinCursor struct{ nr, nt int }
+
+// cellPair indexes regions by their (R cell, T cell) identity.
+type cellPair struct{ r, t int }
+
+// tupleAddr locates a tuple inside the partition: cell index and position
+// in the cell's member slice.
+type tupleAddr struct{ cell, pos int }
+
+// enableMutations switches the executor into mutable mode on the first
+// base-table mutation, materializing the bookkeeping the immutable path
+// never needs: delta-join cursors for every condition already joined
+// (cell lengths have not changed yet, so current lengths are the cursor),
+// the cell-pair → region index, and per-relation tuple locations. A run
+// that never mutates takes the exact immutable code path.
+func (st *state) enableMutations() {
+	if st.mutable {
+		return
+	}
+	st.mutable = true
+	st.joinCursor = make(map[joinKey]joinCursor)
+	for ri, mask := range st.joinedJC {
+		r := st.regions[ri]
+		for j := 0; mask != 0; j++ {
+			if mask&(1<<uint(j)) == 0 {
+				continue
+			}
+			mask &^= 1 << uint(j)
+			st.joinCursor[joinKey{ri, j}] = joinCursor{len(r.RCell.Tuples), len(r.TCell.Tuples)}
+		}
+	}
+	st.cellPair = make(map[cellPair]*region.Region, len(st.regions))
+	for _, r := range st.regions {
+		st.cellPair[cellPair{r.RCell.ID, r.TCell.ID}] = r
+	}
+	for side, cells := range [2][]*partition.Cell{st.space.RCells, st.space.TCells} {
+		st.tupleLoc[side] = make(map[int]tupleAddr)
+		st.deleted[side] = make(map[int]bool)
+		for ci, c := range cells {
+			for pos, tp := range c.Tuples {
+				st.tupleLoc[side][tp.ID] = tupleAddr{ci, pos}
+			}
+		}
+	}
+}
+
+func (st *state) relFor(tab Table) *tuple.Relation {
+	if tab == TableR {
+		return st.e.r
+	}
+	return st.e.t
+}
+
+func (st *state) cellsFor(tab Table) []*partition.Cell {
+	if tab == TableR {
+		return st.space.RCells
+	}
+	return st.space.TCells
+}
+
+// Append applies new rows to one base relation of a running execution.
+// Each row is delta-partitioned into the best-fitting existing leaf cell,
+// the touched cells re-run their signature tests against the opposite
+// side (ExtendJC-style, charged like build-time tests), and every region
+// over a touched cell is revived or extended for all live queries of its
+// passing conditions. Reprocessing a revived region joins only the tuple
+// pairs its delta-join cursor has not seen, so results already emitted
+// are neither retracted nor duplicated. Row IDs are assigned sequentially
+// and returned. Cell assignment itself is uncharged, mirroring the
+// uncharged initial Partition.
+func (x *Exec) Append(tab Table, rows []TupleData) ([]int, DeltaStats, error) {
+	st := x.st
+	var stats DeltaStats
+	if len(rows) == 0 {
+		return nil, stats, nil
+	}
+	rel := st.relFor(tab)
+	for i, row := range rows {
+		if len(row.Attrs) != rel.Schema.NumAttrs() || len(row.Keys) != rel.Schema.NumKeys() {
+			return nil, stats, fmt.Errorf("core: append row %d to %s: got %d attrs, %d keys; schema wants %d, %d",
+				i, rel.Schema.Name, len(row.Attrs), len(row.Keys), rel.Schema.NumAttrs(), rel.Schema.NumKeys())
+		}
+		for _, k := range row.Keys {
+			if k == TombstoneKeyR || k == TombstoneKeyT {
+				return nil, stats, fmt.Errorf("core: append row %d to %s: join key %d is reserved for deletes", i, rel.Schema.Name, k)
+			}
+		}
+	}
+	st.enableMutations()
+
+	ids := make([]int, len(rows))
+	touched := make(map[int]bool)
+	var touchedOrder []int
+	for i, row := range rows {
+		attrs := append([]float64(nil), row.Attrs...)
+		keys := append([]int64(nil), row.Keys...)
+		id := rel.Len()
+		if err := rel.Append(attrs, keys); err != nil {
+			return nil, stats, err
+		}
+		ids[i] = id
+		// The cell holds a standalone copy: relation backing reallocates
+		// on growth, and cells built at partition time point into the old
+		// backing — mixing the two would let a delete miss a slot.
+		tp := &tuple.Tuple{ID: id, Attrs: append([]float64(nil), attrs...), Keys: append([]int64(nil), keys...)}
+		ci := st.placeTuple(tab, tp)
+		if !touched[ci] {
+			touched[ci] = true
+			touchedOrder = append(touchedOrder, ci)
+		}
+	}
+	sort.Ints(touchedOrder)
+	stats.Appended = len(rows)
+	stats.CellsTouched = len(touchedOrder)
+
+	st.retestCells(tab, touchedOrder, &stats)
+	st.reviveAfterAppend(tab, touched, &stats)
+	st.traceDelta("append", tab, &stats)
+	x.drained = false
+	return ids, stats, nil
+}
+
+// placeTuple assigns a new tuple to a leaf cell deterministically: the
+// first existing cell (ascending ID) containing the point, else the cell
+// with the smallest per-dimension overshoot (ties to the lowest ID). The
+// chosen cell's bounds and signatures are extended in place. An append to
+// an empty side opens its first cell.
+func (st *state) placeTuple(tab Table, tp *tuple.Tuple) int {
+	cells := st.cellsFor(tab)
+	best, bestCost := -1, math.Inf(1)
+	for ci, c := range cells {
+		cost := 0.0
+		for k, v := range tp.Attrs {
+			if v < c.Lo[k] {
+				cost += c.Lo[k] - v
+			} else if v > c.Hi[k] {
+				cost += v - c.Hi[k]
+			}
+		}
+		if cost == 0 {
+			best = ci
+			break
+		}
+		if cost < bestCost {
+			best, bestCost = ci, cost
+		}
+	}
+	if best < 0 {
+		c := &partition.Cell{
+			ID: len(cells),
+			Lo: append([]float64(nil), tp.Attrs...),
+			Hi: append([]float64(nil), tp.Attrs...),
+		}
+		c.Sigs = make([]partition.Signature, st.relFor(tab).Schema.NumKeys())
+		for k := range c.Sigs {
+			c.Sigs[k] = partition.Signature{}
+		}
+		if tab == TableR {
+			st.space.RCells = append(st.space.RCells, c)
+		} else {
+			st.space.TCells = append(st.space.TCells, c)
+		}
+		cells = st.cellsFor(tab)
+		best = c.ID
+	}
+	c := cells[best]
+	for k, v := range tp.Attrs {
+		if v < c.Lo[k] {
+			c.Lo[k] = v
+		}
+		if v > c.Hi[k] {
+			c.Hi[k] = v
+		}
+	}
+	st.tupleLoc[int(tab)][tp.ID] = tupleAddr{best, len(c.Tuples)}
+	c.Tuples = append(c.Tuples, tp)
+	for k := range c.Sigs {
+		c.Sigs[k][tp.Key(k)] = struct{}{}
+	}
+	return best
+}
+
+// retestCells re-runs the coarse-level signature tests for every touched
+// cell against all opposite cells, over every condition tested so far —
+// charged exactly like BuildSpace/ExtendJC. A pair that starts passing
+// marks JCPass on its existing region; a pair with no region gains a
+// fresh tail region (born processed, revived by the caller).
+func (st *state) retestCells(tab Table, touchedOrder []int, stats *DeltaStats) {
+	cells := st.cellsFor(tab)
+	var opp []*partition.Cell
+	if tab == TableR {
+		opp = st.space.TCells
+	} else {
+		opp = st.space.RCells
+	}
+	for _, ci := range touchedOrder {
+		c := cells[ci]
+		for _, oc := range opp {
+			rc, tc := c, oc
+			if tab == TableT {
+				rc, tc = oc, c
+			}
+			key := cellPair{rc.ID, tc.ID}
+			reg := st.cellPair[key]
+			for j, jc := range st.w.JoinConds {
+				jbit := uint64(1) << uint(j)
+				if st.space.TestedJC&jbit == 0 {
+					continue
+				}
+				if reg != nil && reg.JCPass&jbit != 0 {
+					// Signatures only grow: a passing test keeps passing.
+					continue
+				}
+				st.clock.CountCellOp(1)
+				if !rc.Sigs[jc.LeftKey].Intersects(tc.Sigs[jc.RightKey], st.clock) {
+					continue
+				}
+				if reg == nil {
+					reg = st.newTailRegion(rc, tc)
+					st.cellPair[key] = reg
+					stats.RegionsCreated++
+				}
+				reg.JCPass |= jbit
+			}
+		}
+	}
+}
+
+// newTailRegion appends a fresh region for a cell pair that had none,
+// extending the per-region executor state exactly like Admit's tail
+// extension: born processed with nothing joined, costing the scheduler
+// nothing until revived.
+func (st *state) newTailRegion(rc, tc *partition.Cell) *region.Region {
+	reg := &region.Region{
+		ID:    len(st.space.Regions),
+		RCell: rc,
+		TCell: tc,
+		Lo:    make([]float64, len(st.w.OutDims)),
+		Hi:    make([]float64, len(st.w.OutDims)),
+	}
+	for k, f := range st.w.OutDims {
+		reg.Lo[k], reg.Hi[k] = f.Bounds(rc.Lo, rc.Hi, tc.Lo, tc.Hi)
+	}
+	st.space.Regions = append(st.space.Regions, reg)
+	st.regions = st.space.Regions
+	st.processed = append(st.processed, true)
+	st.joinedJC = append(st.joinedJC, 0)
+	st.inQueue = append(st.inQueue, false)
+	st.outEdges = append(st.outEdges, nil)
+	st.indegree = append(st.indegree, 0)
+	return reg
+}
+
+// liveFor returns every query a region can serve now: the union of live
+// queries over its passing conditions. Cancelled and sealed queries are
+// already absent from jcQueries.
+func (st *state) liveFor(r *region.Region) skycube.QSet {
+	var qs skycube.QSet
+	for j := range st.w.JoinConds {
+		if r.JCPass&(1<<uint(j)) != 0 {
+			qs |= st.jcQueries[j]
+		}
+	}
+	return qs &^ st.cancelled
+}
+
+// reviveRegion reopens one region for the given queries: lineage and
+// liveness are extended, and a processed region re-enters the scheduling
+// queue. Unlike admission's revive-for-the-new-query-only, mutations
+// revive for every live query — new data is new results for all of them,
+// and batch equality at every offset depends on it. The admission-time
+// coarse prune is deliberately skipped: dominance among regions may have
+// been broken by the mutation, and tuple-level discarding re-derives any
+// still-valid prune.
+func (st *state) reviveRegion(r *region.Region, live skycube.QSet, stats *DeltaStats) {
+	r.RQL |= live
+	st.markFrontiersDirty(live)
+	if !st.processed[r.ID] {
+		r.Alive |= live
+		return
+	}
+	r.Alive = live
+	st.processed[r.ID] = false
+	if !st.inQueue[r.ID] {
+		st.pq.push(r.ID, st.csm(r))
+		st.inQueue[r.ID] = true
+	}
+	stats.RegionsRevived++
+}
+
+// reviveAfterAppend recomputes the output bounds of every region over a
+// touched cell (the cell's box may have grown) and revives it for all
+// live queries of its passing conditions. Untouched regions keep their
+// state: appends only add results, so prior discards remain sound.
+func (st *state) reviveAfterAppend(tab Table, touched map[int]bool, stats *DeltaStats) {
+	for _, r := range st.regions {
+		c := r.RCell
+		if tab == TableT {
+			c = r.TCell
+		}
+		if !touched[c.ID] {
+			continue
+		}
+		for k, f := range st.w.OutDims {
+			r.Lo[k], r.Hi[k] = f.Bounds(r.RCell.Lo, r.RCell.Hi, r.TCell.Lo, r.TCell.Hi)
+		}
+		live := st.liveFor(r)
+		if live == 0 {
+			continue
+		}
+		st.reviveRegion(r, live, stats)
+	}
+}
+
+// Delete retires rows from one base relation of a running execution.
+// The tuples stay in place under tombstone join keys (positions, cell
+// sizes and IDs never shift), their join results lose all candidacy, and
+// — because dominance recorded before the delete may rest on the deleted
+// rows — surviving results are re-granted candidacy for every live
+// same-condition query, every region whose tuple-level join is incomplete
+// is revived, and the shared skyline windows are rebuilt from the
+// surviving points. Results already emitted are never retracted; the
+// emitted marks keep them from being duplicated. History is append-only:
+// a delete changes what remains to be emitted, not what was.
+func (x *Exec) Delete(tab Table, ids []int) (DeltaStats, error) {
+	st := x.st
+	var stats DeltaStats
+	if len(ids) == 0 {
+		return stats, nil
+	}
+	st.enableMutations()
+	side := int(tab)
+	rel := st.relFor(tab)
+	seen := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := st.tupleLoc[side][id]; !ok || st.deleted[side][id] || seen[id] {
+			return stats, fmt.Errorf("core: delete of unknown, duplicate or already-deleted %s row %d", tableName(tab), id)
+		}
+		seen[id] = true
+	}
+
+	sentinel := tombstoneFor(tab)
+	touched := make(map[int]bool)
+	var touchedOrder []int
+	for _, id := range ids {
+		loc := st.tupleLoc[side][id]
+		c := st.cellsFor(tab)[loc.cell]
+		old := c.Tuples[loc.pos]
+		keys := make([]int64, len(old.Keys))
+		for k := range keys {
+			keys[k] = sentinel
+		}
+		c.Tuples[loc.pos] = &tuple.Tuple{ID: id, Attrs: old.Attrs, Keys: keys}
+		rt := rel.At(id)
+		for k := range rt.Keys {
+			rt.Keys[k] = sentinel
+		}
+		st.deleted[side][id] = true
+		if !touched[loc.cell] {
+			touched[loc.cell] = true
+			touchedOrder = append(touchedOrder, loc.cell)
+		}
+	}
+	sort.Ints(touchedOrder)
+	stats.Deleted = len(ids)
+	stats.CellsTouched = len(touchedOrder)
+
+	// Kill deleted results; extend surviving lineage to every live
+	// same-condition query. The extension deliberately ignores per-region
+	// prunes: a sound prune only ever removed dominated results, so any
+	// extra candidacy it grants is re-dominated (or parked behind a
+	// revived region's frontier) below — while an unsound one, resting on
+	// a now-deleted dominator, is exactly what this repairs.
+	for p := range st.payloads {
+		info := &st.payloads[p]
+		if st.deleted[0][info.rid] || st.deleted[1][info.tid] {
+			info.lineage = 0
+			continue
+		}
+		info.lineage |= st.jcQueries[info.jc] &^ st.cancelled
+	}
+
+	// Revive every region with live queries whose tuple-level join is
+	// incomplete for some live condition: build-time prunes, admission
+	// prunes and result-driven discards all fold into "never fully
+	// joined", and any of them may have rested on a deleted dominator.
+	// Fully-joined regions already contributed all their results, so the
+	// lineage extension plus the window rebuild below covers them.
+	for _, r := range st.regions {
+		live := st.liveFor(r)
+		if live == 0 {
+			continue
+		}
+		if !st.processed[r.ID] {
+			st.reviveRegion(r, live, &stats)
+			continue
+		}
+		if st.fullyJoined(r) {
+			r.RQL |= live
+			continue
+		}
+		st.reviveRegion(r, live, &stats)
+	}
+
+	// Rebuild candidacy from the surviving points: clear every parked or
+	// pending reference, reset the shared windows (structure, bindings
+	// and the point arena stay), and re-insert every surviving payload in
+	// deterministic payload order, re-pending unemitted candidates. The
+	// re-inserts are charged as ordinary skyline comparisons.
+	for qi := range st.w.Queries {
+		st.pending[qi] = st.pending[qi][:0]
+		for k := range st.blocked[qi] {
+			delete(st.blocked[qi], k)
+		}
+	}
+	st.shared.ResetWindows()
+	var affected skycube.QSet
+	for p := range st.payloads {
+		info := &st.payloads[p]
+		if info.lineage == 0 {
+			continue
+		}
+		alive := st.shared.Insert(p, info.out, info.lineage)
+		for qi := alive.Next(0); qi >= 0; qi = alive.Next(qi + 1) {
+			if st.cancelled.Has(qi) || info.emitted.Has(qi) {
+				continue
+			}
+			st.pending[qi] = append(st.pending[qi], p)
+		}
+		affected |= alive
+	}
+	affected &^= st.cancelled
+	st.markFrontiersDirty(affected)
+	st.emitSafe(affected)
+
+	st.traceDelta("delete", tab, &stats)
+	x.drained = false
+	return stats, nil
+}
+
+// fullyJoined reports whether a region's tuple-level join has consumed
+// every current tuple pair for every condition with live queries.
+func (st *state) fullyJoined(r *region.Region) bool {
+	for j := range st.w.JoinConds {
+		jbit := uint64(1) << uint(j)
+		if r.JCPass&jbit == 0 || st.jcQueries[j] == 0 {
+			continue
+		}
+		if st.joinedJC[r.ID]&jbit == 0 {
+			return false
+		}
+		cur := st.joinCursor[joinKey{r.ID, j}]
+		if cur.nr != len(r.RCell.Tuples) || cur.nt != len(r.TCell.Tuples) {
+			return false
+		}
+	}
+	return true
+}
+
+// Seal closes a finished query permanently: later mutations no longer
+// revive regions or extend candidacy for it. Sessions seal a non-standing
+// query the moment its stream finishes, so a stream that reported done can
+// never owe results. The caller is responsible for only sealing queries
+// that are QueryDone; sealing is irreversible for the slot's current
+// occupant (a later Admit reusing the slot re-registers the newcomer).
+func (x *Exec) Seal(qi int) error {
+	st := x.st
+	if qi < 0 || qi >= len(st.w.Queries) {
+		return fmt.Errorf("core: seal of unknown query %d", qi)
+	}
+	st.jcQueries[st.w.Queries[qi].JC] &^= 1 << uint(qi)
+	st.sealed = st.sealed.Add(qi)
+	return nil
+}
+
+// traceDelta records one applied mutation as a KindDelta event.
+func (st *state) traceDelta(op string, tab Table, d *DeltaStats) {
+	if st.tracer == nil {
+		return
+	}
+	ev := st.newEvent(trace.KindDelta)
+	ev.Op = op + "-" + tableName(tab)
+	ev.Count = d.Appended + d.Deleted
+	ev.Cells = d.CellsTouched
+	ev.Revived = d.RegionsRevived
+	st.tracer.Trace(ev)
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"caqe/internal/datagen"
+	"caqe/internal/metrics"
+	"caqe/internal/run"
+	"caqe/internal/tuple"
+	"caqe/internal/workload"
+)
+
+// cloneRel copies the first n rows of a relation into a fresh backing, so
+// one generated dataset can seed many mutating runs.
+func cloneRel(src *tuple.Relation, n int) *tuple.Relation {
+	out := tuple.NewRelation(src.Schema)
+	for i := 0; i < n; i++ {
+		tp := src.At(i)
+		out.MustAppend(append([]float64(nil), tp.Attrs...), append([]int64(nil), tp.Keys...))
+	}
+	return out
+}
+
+// rowsFrom extracts rows [from, to) of a relation as append payloads.
+func rowsFrom(src *tuple.Relation, from, to int) []TupleData {
+	rows := make([]TupleData, 0, to-from)
+	for i := from; i < to; i++ {
+		tp := src.At(i)
+		rows = append(rows, TupleData{
+			Attrs: append([]float64(nil), tp.Attrs...),
+			Keys:  append([]int64(nil), tp.Keys...),
+		})
+	}
+	return rows
+}
+
+// tombstone rewrites the join keys of the given rows to the side's
+// reserved sentinel — the batch-reference representation of a delete,
+// keeping every row ID stable.
+func tombstone(rel *tuple.Relation, ids []int, sentinel int64) {
+	for _, id := range ids {
+		tp := rel.At(id)
+		for k := range tp.Keys {
+			tp.Keys[k] = sentinel
+		}
+	}
+}
+
+// mutStep is one schedule entry: run the engine to the (cumulative) step
+// count, then apply the mutation.
+type mutStep struct {
+	after int
+	tab   Table
+	rows  []TupleData
+	del   []int
+}
+
+// runWithMutations drives an execution through a mutation schedule and to
+// completion, returning the report and the virtual time after the last
+// mutation applied.
+func runWithMutations(t *testing.T, w *workload.Workload, r, tt *tuple.Relation, sched []mutStep) (*run.Report, float64) {
+	t.Helper()
+	e, err := New(w, r, tt, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := metrics.NewClock()
+	rep := run.NewReport("CAQE", w, nil)
+	x, err := e.StartExec(clock, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, lastMut := 0, 0.0
+	for _, m := range sched {
+		for steps < m.after && x.Step() {
+			steps++
+		}
+		if len(m.rows) > 0 {
+			if _, _, err := x.Append(m.tab, m.rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(m.del) > 0 {
+			if _, err := x.Delete(m.tab, m.del); err != nil {
+				t.Fatal(err)
+			}
+		}
+		lastMut = x.Now()
+	}
+	for x.Step() {
+	}
+	x.Finish()
+	return rep, lastMut
+}
+
+// checkIncremental asserts the mutation soundness contract for one query:
+// the delivered set contains every result of the batch run over the final
+// dataset, contains no duplicates (nothing double-emitted across revives),
+// and any extra result — final when emitted, invalidated by a later
+// mutation — was emitted no later than the last mutation and, when delR
+// or delT is set, references a deleted row.
+func checkIncremental(t *testing.T, label string, batch, inc *run.Report, qi int, lastMut float64, delR, delT map[int]bool) {
+	t.Helper()
+	seen := make(map[run.ResultKey]bool)
+	for _, k := range inc.ResultSet(qi) {
+		if seen[k] {
+			t.Errorf("%s: query %d delivered %v twice", label, qi, k)
+		}
+		seen[k] = true
+	}
+	want := make(map[run.ResultKey]bool)
+	for _, k := range batch.ResultSet(qi) {
+		want[k] = true
+		if !seen[k] {
+			t.Errorf("%s: query %d missing batch result %v", label, qi, k)
+		}
+	}
+	for _, e := range inc.PerQuery[qi] {
+		k := run.ResultKey{RID: e.RID, TID: e.TID}
+		if want[k] {
+			continue
+		}
+		if e.Time > lastMut {
+			t.Errorf("%s: query %d emitted extra %v at t=%g, after the last mutation at t=%g",
+				label, qi, k, e.Time, lastMut)
+		}
+		if (delR != nil || delT != nil) && !delR[e.RID] && !delT[e.TID] {
+			t.Errorf("%s: query %d extra %v references no deleted row", label, qi, k)
+		}
+	}
+}
+
+// stepOffsets are the mutation points each property test sweeps: at build
+// time, mid-run at several depths, and after a full drain (the engine
+// resumes from Step() == false).
+var stepOffsets = []int{0, 1, 2, 5, 10, 25, 1 << 20}
+
+// TestAppendEveryOffsetMatchesBatch pins the tentpole soundness property
+// for appends: whatever step the new rows land on, the run delivers at
+// least the batch result set over the final dataset, never duplicates,
+// and at offset 0 (no emissions can precede the mutation) matches it
+// exactly.
+func TestAppendEveryOffsetMatchesBatch(t *testing.T) {
+	const dims, nq, full, base = 3, 4, 60, 45
+	fullR, fullT := testPair(t, full, dims, datagen.Independent, 0.05, 21)
+	batch, err := mustEngine(t, testWorkload(nq, dims, workload.UniformPriority, c3s), fullR, fullT, Options{Workers: 1}).Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, off := range stepOffsets {
+		w := testWorkload(nq, dims, workload.UniformPriority, c3s)
+		r, tt := cloneRel(fullR, base), cloneRel(fullT, base)
+		rep, lastMut := runWithMutations(t, w, r, tt, []mutStep{
+			{after: off, tab: TableR, rows: rowsFrom(fullR, base, full)},
+			{after: off, tab: TableT, rows: rowsFrom(fullT, base, full)},
+		})
+		for qi := range w.Queries {
+			checkIncremental(t, labelOff("append", off), batch, rep, qi, lastMut, nil, nil)
+			if off == 0 {
+				if !reflect.DeepEqual(batch.ResultSet(qi), rep.ResultSet(qi)) {
+					t.Errorf("append@0: query %d result set differs from batch", qi)
+				}
+			}
+		}
+	}
+}
+
+// TestDeleteEveryOffsetMatchesBatch pins delete soundness: against a batch
+// reference over the tombstoned final dataset, every offset's run delivers
+// at least the batch set, never duplicates, and its only extras are
+// results emitted before the delete that reference a deleted row.
+func TestDeleteEveryOffsetMatchesBatch(t *testing.T) {
+	const dims, nq, n = 3, 4, 60
+	srcR, srcT := testPair(t, n, dims, datagen.Independent, 0.05, 23)
+	delR, delT := []int{3, 17, 41, 58}, []int{5, 29}
+	refR, refT := cloneRel(srcR, n), cloneRel(srcT, n)
+	tombstone(refR, delR, TombstoneKeyR)
+	tombstone(refT, delT, TombstoneKeyT)
+	batch, err := mustEngine(t, testWorkload(nq, dims, workload.UniformPriority, c3s), refR, refT, Options{Workers: 1}).Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delRSet := map[int]bool{3: true, 17: true, 41: true, 58: true}
+	delTSet := map[int]bool{5: true, 29: true}
+
+	for _, off := range stepOffsets {
+		w := testWorkload(nq, dims, workload.UniformPriority, c3s)
+		r, tt := cloneRel(srcR, n), cloneRel(srcT, n)
+		rep, lastMut := runWithMutations(t, w, r, tt, []mutStep{
+			{after: off, tab: TableR, del: delR},
+			{after: off, tab: TableT, del: delT},
+		})
+		for qi := range w.Queries {
+			checkIncremental(t, labelOff("delete", off), batch, rep, qi, lastMut, delRSet, delTSet)
+		}
+	}
+}
+
+// TestMixedMutationsEveryOffsetMatchesBatch interleaves appends and
+// deletes — including deleting rows that were themselves appended — and
+// checks the same containment properties against a batch run over the
+// final mutated dataset.
+func TestMixedMutationsEveryOffsetMatchesBatch(t *testing.T) {
+	const dims, nq, full, base = 3, 3, 55, 40
+	fullR, fullT := testPair(t, full, dims, datagen.Independent, 0.05, 29)
+	delR, delT := []int{7, 44}, []int{12, 50} // one base and one appended row per side
+	refR, refT := cloneRel(fullR, full), cloneRel(fullT, full)
+	tombstone(refR, delR, TombstoneKeyR)
+	tombstone(refT, delT, TombstoneKeyT)
+	batch, err := mustEngine(t, testWorkload(nq, dims, workload.UniformPriority, c3s), refR, refT, Options{Workers: 1}).Execute(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, off := range stepOffsets {
+		w := testWorkload(nq, dims, workload.UniformPriority, c3s)
+		r, tt := cloneRel(fullR, base), cloneRel(fullT, base)
+		rep, lastMut := runWithMutations(t, w, r, tt, []mutStep{
+			{after: off, tab: TableR, rows: rowsFrom(fullR, base, full)},
+			{after: off + 3, tab: TableT, rows: rowsFrom(fullT, base, full)},
+			{after: off + 6, tab: TableR, del: delR},
+			{after: off + 6, tab: TableT, del: delT},
+		})
+		for qi := range w.Queries {
+			checkIncremental(t, labelOff("mixed", off), batch, rep, qi, lastMut, nil, nil)
+		}
+	}
+}
+
+// TestMutationReplayByteIdentical pins deterministic replay: the same
+// mutation schedule over the same data yields byte-identical reports —
+// emissions, timestamps, counters.
+func TestMutationReplayByteIdentical(t *testing.T) {
+	const dims, nq, full, base = 3, 4, 55, 40
+	fullR, fullT := testPair(t, full, dims, datagen.Independent, 0.05, 31)
+	sched := func() []mutStep {
+		return []mutStep{
+			{after: 2, tab: TableR, rows: rowsFrom(fullR, base, full)},
+			{after: 5, tab: TableT, del: []int{4, 19}},
+			{after: 9, tab: TableT, rows: rowsFrom(fullT, base, full)},
+		}
+	}
+	var reps [2]*run.Report
+	for i := range reps {
+		w := testWorkload(nq, dims, workload.UniformPriority, c3s)
+		r, tt := cloneRel(fullR, base), cloneRel(fullT, base)
+		reps[i], _ = runWithMutations(t, w, r, tt, sched())
+	}
+	if !reflect.DeepEqual(reps[0].PerQuery, reps[1].PerQuery) {
+		t.Error("replay emissions differ")
+	}
+	if reps[0].EndTime != reps[1].EndTime {
+		t.Errorf("replay end time %v vs %v", reps[0].EndTime, reps[1].EndTime)
+	}
+	if !reflect.DeepEqual(reps[0].Counters, reps[1].Counters) {
+		t.Errorf("replay counters differ:\nfirst:  %+v\nsecond: %+v", reps[0].Counters, reps[1].Counters)
+	}
+}
+
+// TestMutateValidation pins the mutation error surface: shape mismatches,
+// reserved keys, and unknown / duplicate / repeated deletes are rejected
+// without disturbing the run.
+func TestMutateValidation(t *testing.T) {
+	const dims, nq, n = 3, 2, 40
+	w := testWorkload(nq, dims, workload.UniformPriority, c3s)
+	r, tt := testPair(t, n, dims, datagen.Independent, 0.05, 37)
+	e := mustEngine(t, w, r, tt, Options{Workers: 1})
+	x, err := e.StartExec(metrics.NewClock(), run.NewReport("CAQE", w, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := x.Append(TableR, []TupleData{{Attrs: []float64{1}, Keys: []int64{1}}}); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+	bad := rowsFrom(r, 0, 1)
+	bad[0].Keys[0] = TombstoneKeyR
+	if _, _, err := x.Append(TableR, bad); err == nil {
+		t.Error("reserved key accepted")
+	}
+	if _, err := x.Delete(TableT, []int{n + 5}); err == nil {
+		t.Error("unknown row delete accepted")
+	}
+	if _, err := x.Delete(TableT, []int{1, 1}); err == nil {
+		t.Error("duplicate delete accepted")
+	}
+	if _, err := x.Delete(TableT, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Delete(TableT, []int{2}); err == nil {
+		t.Error("repeated delete accepted")
+	}
+	for x.Step() {
+	}
+	x.Finish()
+}
+
+func labelOff(kind string, off int) string {
+	if off == 1<<20 {
+		return kind + "@drained"
+	}
+	return fmt.Sprintf("%s@%d", kind, off)
+}

@@ -5,6 +5,7 @@ import (
 
 	"caqe/internal/core/op"
 	"caqe/internal/skycube"
+	"caqe/internal/tuple"
 )
 
 // This file is the pipelined executor: Algorithm 1's tuple-level region
@@ -163,22 +164,48 @@ func (o *joinOp) Open(region int) {}
 func (o *joinOp) Push(b *op.Batch) {
 	st := o.st
 	rc := st.regions[b.Region]
+	jbit := uint64(1) << uint(b.JC)
 	qmask := st.jcQueries[b.JC] & rc.Alive
-	if qmask == 0 || st.joinedJC[b.Region]&(1<<uint(b.JC)) != 0 {
+	if qmask == 0 {
 		return
 	}
-	st.joinedJC[b.Region] |= 1 << uint(b.JC)
-	// The scratch results (and their flat coordinate backing) are only
-	// valid until the next join call; the coordinate batch below copies
-	// them out before the scan offers the next condition.
-	results := st.js.NestedLoopPool(st.w.JoinConds[b.JC], st.w.OutDims, b.Left, b.Right, st.clock, st.pool)
-	if len(results) == 0 {
-		return
+	cl, ct := 0, 0
+	if st.joinedJC[b.Region]&jbit != 0 {
+		if !st.mutable {
+			return
+		}
+		// Mutable sessions reopen regions after base-table mutations; the
+		// delta-join cursor marks the tuple pairs already consumed.
+		cur := st.joinCursor[joinKey{b.Region, b.JC}]
+		if cur.nr == len(b.Left) && cur.nt == len(b.Right) {
+			return
+		}
+		cl, ct = cur.nr, cur.nt
+	}
+	st.joinedJC[b.Region] |= jbit
+	if st.mutable {
+		st.joinCursor[joinKey{b.Region, b.JC}] = joinCursor{len(b.Left), len(b.Right)}
 	}
 	out := o.pool.Get(len(st.w.OutDims))
 	out.Region, out.JC, out.Qmask = b.Region, b.JC, uint64(qmask)
-	for _, res := range results {
-		out.Append(res.RID, res.TID, res.Out)
+	// The scratch results (and their flat coordinate backing) are only
+	// valid until the next join call, so each segment is copied into the
+	// coordinate batch before the next one (or the scan's next condition)
+	// runs. A fresh region joins as one full segment; a reopened one joins
+	// only the pairs beyond its cursor: new-left × all-right, then
+	// old-left × new-right.
+	for _, seg := range [2][2][]*tuple.Tuple{{b.Left[cl:], b.Right}, {b.Left[:cl], b.Right[ct:]}} {
+		if len(seg[0]) == 0 || len(seg[1]) == 0 {
+			continue
+		}
+		results := st.js.NestedLoopPool(st.w.JoinConds[b.JC], st.w.OutDims, seg[0], seg[1], st.clock, st.pool)
+		for _, res := range results {
+			out.Append(res.RID, res.TID, res.Out)
+		}
+	}
+	if out.Len() == 0 {
+		o.pool.Put(out)
+		return
 	}
 	st.traceOpBatch(opNameSignatureJoin, out.Region, out.Len())
 	o.next.Push(out)

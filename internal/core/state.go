@@ -79,6 +79,22 @@ type state struct {
 	// the clock.
 	rate rateEstimator
 
+	// Mutable-session bookkeeping, materialized by enableMutations on the
+	// first base-table mutation and untouched (mutable false, maps nil) in
+	// runs that never mutate: per-(region, condition) delta-join cursors,
+	// the cell-pair → region index, per-relation tuple locations, and the
+	// tombstoned row IDs of each side.
+	mutable    bool
+	joinCursor map[joinKey]joinCursor
+	cellPair   map[cellPair]*region.Region
+	tupleLoc   [2]map[int]tupleAddr
+	deleted    [2]map[int]bool
+	// sealed marks queries permanently closed by Exec.Seal: done, and no
+	// longer revivable by mutations. In a mutable execution only sealed
+	// (or cancelled) slots are safe for Admit to reclaim — an unsealed
+	// done query may be a standing query a later mutation will revive.
+	sealed skycube.QSet
+
 	frontier      [][]frontierCorner // per query: minimal best corners of live regions
 	frontierDirty []bool
 

@@ -137,6 +137,23 @@ type Session struct {
 	byLocal  []*Handle // by engine-local query index (current slot occupant)
 	byReport []*Handle // by report query index (never reused; routes delivery)
 	waiters  []chan struct{}
+
+	// Base-table mutation state: the FIFO of accepted-but-unapplied
+	// mutations (head-gated by its anchor), accumulated mutation stats,
+	// the next row ID per relation (appends reserve IDs at accept time so
+	// callers learn them immediately), and the IDs already deleted or
+	// accepted for deletion.
+	muts   []pendingMutation
+	mstats MutationStats
+	nextID [2]int
+	gone   [2]map[int]bool
+}
+
+// pendingMutation is one accepted mutation waiting for its anchor.
+type pendingMutation struct {
+	tab core.Table
+	m   Mutation
+	ids []int // row IDs reserved for the append portion
 }
 
 // Open validates the configuration and starts the session's executor.
@@ -179,6 +196,8 @@ func Open(cfg Config) (*Session, error) {
 		cfg:    cfg,
 		cmds:   make(chan func()),
 		closed: make(chan struct{}),
+		nextID: [2]int{cfg.R.Len(), cfg.T.Len()},
+		gone:   [2]map[int]bool{{}, {}},
 	}
 	go s.loop()
 	return s, nil
@@ -209,12 +228,20 @@ func (s *Session) loop() {
 			continue
 		default:
 		}
+		s.applyDueMutations(false)
 		if s.x != nil && s.x.Step() {
 			s.sweep()
 			continue
 		}
 		// Step returned false: the engine just flushed its remaining final
 		// results (or has not started); completion states may have changed.
+		// An idle executor cannot advance the virtual clock on its own, so
+		// a mutation still waiting on a future anchor applies now — which
+		// may revive work and resume stepping.
+		if s.applyDueMutations(true) {
+			s.sweep()
+			continue
+		}
 		s.sweep()
 		if s.draining {
 			s.shutdown()
@@ -228,12 +255,21 @@ func (s *Session) loop() {
 
 // sweep closes the stream of every running query that can receive no
 // further results, and releases Wait callers once nothing is in flight.
+// Standing (continuous) queries are exempt until the session drains: they
+// stay open so later base-table mutations can stream further results.
+// Every query that does finish is sealed in the engine first, so a stream
+// that reported done can never owe results to a later mutation.
 func (s *Session) sweep() {
 	if s.x != nil {
 		for _, h := range s.byLocal {
-			if h != nil && h.state() == StateRunning && s.x.QueryDone(h.local) {
-				h.finish(StateDone)
+			if h == nil || h.local < 0 || h.state() != StateRunning || !s.x.QueryDone(h.local) {
+				continue
 			}
+			if h.query.Standing && !s.draining {
+				continue
+			}
+			_ = s.x.Seal(h.local)
+			h.finish(StateDone)
 		}
 	}
 	if len(s.waiters) > 0 && s.open() == 0 {
@@ -349,6 +385,7 @@ func (s *Session) submit(q workload.Query, estTotal int) (*Handle, error) {
 	// Admit runs, because admission itself can emit already-final results
 	// for the new query. The local index is only known afterwards — the
 	// engine recycles retired slots once all 64 are occupied.
+	h.query, h.estTotal = q, estTotal
 	h.arrival = s.x.Now()
 	q.Contract = contract.Anchored(q.Contract, h.arrival)
 	h.repIdx = s.x.NextReportIndex()
@@ -511,12 +548,13 @@ type QueryStats struct {
 	ID           int     `json:"id"`
 	Name         string  `json:"name"`
 	State        string  `json:"state"`
-	Arrival      float64 `json:"arrival"`      // virtual seconds at admission
-	Delivered    int     `json:"delivered"`    // results streamed so far
-	Satisfaction float64 `json:"satisfaction"` // contract satisfaction so far
-	Buffered     int     `json:"buffered"`     // emissions awaiting the consumer
-	Coalesced    int64   `json:"coalesced"`    // emissions dropped from the stream
-	TTFRSeconds  float64 `json:"ttfrSeconds"`  // real seconds to first result (0 until one lands)
+	Arrival      float64 `json:"arrival"`            // virtual seconds at admission
+	Delivered    int     `json:"delivered"`          // results streamed so far
+	Satisfaction float64 `json:"satisfaction"`       // contract satisfaction so far
+	Buffered     int     `json:"buffered"`           // emissions awaiting the consumer
+	Coalesced    int64   `json:"coalesced"`          // emissions dropped from the stream
+	TTFRSeconds  float64 `json:"ttfrSeconds"`        // real seconds to first result (0 until one lands)
+	Standing     bool    `json:"standing,omitempty"` // continuous query: stays open across mutations
 }
 
 // DeliveryStats aggregates the delivery pipeline across every handle.
@@ -539,6 +577,7 @@ type Stats struct {
 	Queries   []QueryStats     `json:"queries"`
 	Delivery  DeliveryStats    `json:"delivery"`
 	Counters  metrics.Counters `json:"counters"`
+	Mutations MutationStats    `json:"mutations"`
 }
 
 // Stats snapshots the session between scheduling steps.
@@ -557,7 +596,9 @@ func (s *Session) stats() Stats {
 		Draining:  s.draining,
 		Open:      s.open(),
 		Submitted: len(s.handles),
+		Mutations: s.mstats,
 	}
+	st.Mutations.Pending = len(s.muts)
 	if s.x != nil {
 		st.Now = s.x.Now()
 		st.Counters = s.clock.Counters()
@@ -572,6 +613,7 @@ func (s *Session) stats() Stats {
 			Buffered:    ss.Buffered,
 			Coalesced:   ss.Coalesced,
 			TTFRSeconds: h.TTFRSeconds(),
+			Standing:    h.query.Standing,
 		}
 		if h.state() != StateQueued && s.rep != nil && h.repIdx >= 0 && h.repIdx < len(s.rep.Trackers) {
 			qs.Delivered = len(s.rep.PerQuery[h.repIdx])
@@ -613,7 +655,9 @@ func (s *Session) Close() error {
 
 // Wait blocks until every currently admitted query has finished, without
 // closing the session (a later Submit revives execution). It starts
-// execution if queued queries are pending.
+// execution if queued queries are pending. Standing queries never finish
+// on their own — with one open, Wait returns only after it is cancelled
+// or the session closes.
 func (s *Session) Wait() error {
 	if err := s.Start(); err != nil {
 		return err

@@ -1,0 +1,16 @@
+package skycube
+
+// ResetWindows empties every window node while keeping the node structure,
+// the per-query bindings (including dynamic slots) and the point arena
+// intact. It is the rebuild primitive for base-table deletes: dominance
+// recorded before a delete may rest on points that no longer exist, so the
+// caller clears all windows and re-Inserts every surviving payload, letting
+// candidacy re-settle against the mutated data. ResetWindows itself meters
+// nothing — the re-inserts carry the counted work.
+func (s *SharedSkyline) ResetWindows() {
+	for _, sn := range s.nodes {
+		if sn != nil {
+			s.resetNode(sn)
+		}
+	}
+}

@@ -52,6 +52,12 @@ const (
 	// KindEmit records one batch of consecutive result deliveries to a
 	// single query: Count results between virtual times T and TEnd.
 	KindEmit Kind = "emit"
+	// KindDelta records one base-table mutation applied to a running
+	// executor: Op names the mutation and table ("append-r", "append-t",
+	// "delete-r", "delete-t"), Count the tuples appended or deleted, Cells
+	// the partition cells touched and Revived the processed regions
+	// reopened for rescheduling.
+	KindDelta Kind = "delta"
 	// KindShardMerge records one fold step of a cluster coordinator's final
 	// dominance-merge pass: shard Shard's CandsIn local-skyline candidates
 	// for query Query were folded into the survivor set, leaving CandsOut
@@ -70,7 +76,7 @@ const (
 // iteration order that metrics exposition and summaries rely on (Snapshot
 // event counts are keyed by Kind in an unordered map).
 func Kinds() []Kind {
-	return []Kind{KindStart, KindDecision, KindDefer, KindOpBatch, KindDiscard, KindShardMerge, KindEmit, KindFeedback, KindEnd}
+	return []Kind{KindStart, KindDecision, KindDefer, KindOpBatch, KindDiscard, KindDelta, KindShardMerge, KindEmit, KindFeedback, KindEnd}
 }
 
 // Event is one structured trace record. Region, Query, RunnerUp and Shard
@@ -90,8 +96,10 @@ type Event struct {
 	RunnerUpCSM float64 `json:"runnerUpCsm,omitempty"` // decision: score of the runner-up
 	Frontier    int     `json:"frontier,omitempty"`    // decision: immediate candidates remaining after the pick
 	TEnd        float64 `json:"tEnd,omitempty"`        // emit: virtual time of the batch's last delivery
-	Count       int     `json:"count,omitempty"`       // emit: results delivered in the batch; op: rows in the batch; shardmerge: pairwise comparisons charged
-	Op          string  `json:"op,omitempty"`          // op: operator that pushed the batch
+	Count       int     `json:"count,omitempty"`       // emit: results delivered in the batch; op: rows in the batch; shardmerge: pairwise comparisons charged; delta: tuples appended/deleted
+	Op          string  `json:"op,omitempty"`          // op: operator that pushed the batch; delta: mutation kind and table ("append-r", "delete-t", ...)
+	Cells       int     `json:"cells,omitempty"`       // delta: partition cells touched
+	Revived     int     `json:"revived,omitempty"`     // delta: processed regions reopened for rescheduling
 
 	Shard    int `json:"shard"`              // shardmerge: source shard id, -1 otherwise
 	CandsIn  int `json:"candsIn,omitempty"`  // shardmerge: local-skyline candidates folded in
@@ -167,6 +175,18 @@ func (e Event) Validate() error {
 		}
 		if e.TEnd < e.T {
 			return fmt.Errorf("trace: emit batch ends at %g before it starts at %g", e.TEnd, e.T)
+		}
+	case KindDelta:
+		switch e.Op {
+		case "append-r", "append-t", "delete-r", "delete-t":
+		default:
+			return fmt.Errorf("trace: delta with unknown op %q", e.Op)
+		}
+		if e.Count < 1 {
+			return fmt.Errorf("trace: delta of %d tuples", e.Count)
+		}
+		if e.Cells < 0 || e.Revived < 0 {
+			return fmt.Errorf("trace: delta with negative cells/revived (%d, %d)", e.Cells, e.Revived)
 		}
 	case KindShardMerge:
 		if e.Shard < 0 {

@@ -45,6 +45,13 @@ type Query struct {
 	Pref     preference.Subspace // skyline dimensions (indices into Workload.OutDims)
 	Priority float64             // [0, 1]; see PriorityBand
 	Contract contract.Contract   // progressiveness contract C_i
+
+	// Standing marks a continuous query: a session keeps it open after it
+	// drains the current data so base-table mutations can stream further
+	// results to it. Standing queries finish only on cancellation or
+	// session close. The core executor ignores the flag — done-ness stays
+	// QueryDone — it is session-level lifecycle policy.
+	Standing bool
 }
 
 // Workload is a set of queries over a shared output space. OutDims is the
